@@ -1,0 +1,103 @@
+package bgp_test
+
+// Ablation benchmarks: each one toggles a design choice of the simulator
+// that DESIGN.md calls out (L1 replacement policy, L2 prefetching, DDR
+// queue contention, L3 port sharing) and reports the effect on a streaming
+// workload's simulated execution time and DDR traffic. They quantify how
+// much each mechanism contributes to the reproduced figures.
+
+import (
+	"testing"
+
+	"bgpsim/internal/cache"
+	"bgpsim/internal/compiler"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/nas"
+)
+
+// runAblation executes FT on a 2-node VNM partition with the given node
+// parameters and reports simulated cycles and DDR lines.
+func runAblation(b *testing.B, params machine.Params) (cycles, ddrLines uint64) {
+	b.Helper()
+	bench, err := nas.ByName("ft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := bench.Build(nas.Config{
+		Class: nas.ClassW,
+		Ranks: 8,
+		Opts:  compiler.Options{Level: compiler.O5, Arch440d: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.New(2, machine.VNM, params)
+	j, err := mpi.NewJob(m, app.Ranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := j.Run(app.Body); err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range m.Nodes {
+		ddrLines += n.DDRTrafficLines()
+		for _, c := range n.Cores {
+			if c.Cycles > cycles {
+				cycles = c.Cycles
+			}
+		}
+	}
+	return cycles, ddrLines
+}
+
+func reportAblation(b *testing.B, params machine.Params) {
+	var cycles, lines uint64
+	for i := 0; i < b.N; i++ {
+		cycles, lines = runAblation(b, params)
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+	b.ReportMetric(float64(lines), "ddr-lines")
+}
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	reportAblation(b, machine.DefaultParams())
+}
+
+func BenchmarkAblationNoPrefetch(b *testing.B) {
+	p := machine.DefaultParams()
+	p.Node.Core.Prefetch.Depth = 0
+	reportAblation(b, p)
+}
+
+func BenchmarkAblationDeepPrefetch(b *testing.B) {
+	p := machine.DefaultParams()
+	p.Node.Core.Prefetch.Depth = 8
+	reportAblation(b, p)
+}
+
+func BenchmarkAblationLRUL1(b *testing.B) {
+	// The PPC450 L1 uses round-robin replacement; this measures what
+	// true LRU would change.
+	p := machine.DefaultParams()
+	p.Node.Core.L1.Replacement = cache.ReplaceLRU
+	reportAblation(b, p)
+}
+
+func BenchmarkAblationNoDDRContention(b *testing.B) {
+	p := machine.DefaultParams()
+	p.Node.DDR.QueuePenalty = 0
+	reportAblation(b, p)
+}
+
+func BenchmarkAblationNoL3Sharing(b *testing.B) {
+	p := machine.DefaultParams()
+	p.Node.L3SharerPenalty = 0
+	reportAblation(b, p)
+}
+
+func BenchmarkAblationSlowDRAM(b *testing.B) {
+	p := machine.DefaultParams()
+	p.Node.DDR.ReadLatency *= 2
+	reportAblation(b, p)
+}

@@ -1,0 +1,202 @@
+package bgp_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the figure's full data series through the shared
+// experiments harness, so `go test -bench=.` re-derives every reported
+// number.
+//
+// The default scale is small so the full harness completes in minutes; set
+// BGP_BENCH_SCALE=mid for the paper's per-rank regime at a quarter of the
+// processes, or BGP_BENCH_SCALE=full for class C with 128 processes (the
+// paper's exact configuration; expect several minutes per figure).
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	bgp "bgpsim"
+	"bgpsim/internal/bgpctr"
+	"bgpsim/internal/experiments"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/node"
+	"bgpsim/internal/upc"
+)
+
+func benchScale() experiments.Scale {
+	switch os.Getenv("BGP_BENCH_SCALE") {
+	case "full":
+		return experiments.FullScale()
+	case "mid":
+		return experiments.MidScale()
+	default:
+		return experiments.QuickScale()
+	}
+}
+
+// BenchmarkFig03Modes exercises the operating-mode table (Figure 3): the
+// same workload booted in each of the four node modes.
+func BenchmarkFig03Modes(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []bgp.OpMode{bgp.SMP1, bgp.SMP4, bgp.Dual, bgp.VNM} {
+			res, err := bgp.Run(bgp.RunConfig{
+				Benchmark: "ep",
+				Class:     s.Class,
+				Ranks:     mode.RanksPerNode() * 4,
+				Mode:      mode,
+				Opts:      experiments.BestBuild(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res.Metrics.MFLOPS
+		}
+	}
+}
+
+// BenchmarkInterfaceOverhead measures the §IV sanity check: the cycle cost
+// of the interface library's initialize+start+stop path (the paper's
+// Time-Base-verified 196 cycles) and the wall cost of the calls themselves.
+func BenchmarkInterfaceOverhead(b *testing.B) {
+	n := node.New(0, node.DefaultParams(), nil, nil)
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		before := n.Cores[0].TimeBase()
+		s := bgpctr.Initialize(n, 0, upc.Mode2)
+		s.Start(1)
+		s.Stop(1)
+		cycles = n.Cores[0].TimeBase() - before
+	}
+	b.ReportMetric(float64(cycles), "machine-cycles")
+}
+
+func BenchmarkFig06InstructionProfile(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6Profile(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 8 {
+			b.Fatalf("profile rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig07FTSIMD(b *testing.B) {
+	benchmarkCompilerSweep(b, "ft")
+}
+
+func BenchmarkFig08MGSIMD(b *testing.B) {
+	benchmarkCompilerSweep(b, "mg")
+}
+
+func benchmarkCompilerSweep(b *testing.B, bench string) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.CompilerSweep(bench, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := pts[len(pts)-1]
+		b.ReportMetric(100*last.SIMDShare, "simd-share-%")
+	}
+}
+
+func BenchmarkFig09ExecTime(b *testing.B) {
+	benchmarkExecTimes(b, experiments.SuiteNames()[:4])
+}
+
+func BenchmarkFig10ExecTime(b *testing.B) {
+	benchmarkExecTimes(b, experiments.SuiteNames()[4:])
+}
+
+func benchmarkExecTimes(b *testing.B, names []string) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig910ExecTimes(names, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(names) {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+func BenchmarkFig11L3Sweep(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11L3Sweep(experiments.SuiteNames(), s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the suite-mean traffic reduction of the 4 MB point.
+		var sum float64
+		for _, r := range rows {
+			sum += float64(r.Points[2].DDRTrafficBytes) / float64(r.Points[0].DDRTrafficBytes)
+		}
+		b.ReportMetric(sum/float64(len(rows)), "traffic-at-4MB-vs-noL3")
+	}
+}
+
+func benchmarkModes(b *testing.B, metric func(experiments.ModeRow) float64, unit string) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig121314Modes(experiments.SuiteNames(), s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vals := make([]float64, len(rows))
+		for k, r := range rows {
+			vals[k] = metric(r)
+		}
+		b.ReportMetric(experiments.Mean(vals), unit)
+	}
+}
+
+func BenchmarkFig12DDRTrafficRatio(b *testing.B) {
+	benchmarkModes(b, func(r experiments.ModeRow) float64 { return r.TrafficRatio }, "mean-traffic-ratio")
+}
+
+func BenchmarkFig13VNMSlowdown(b *testing.B) {
+	benchmarkModes(b, func(r experiments.ModeRow) float64 { return r.SlowdownPct }, "mean-slowdown-%")
+}
+
+func BenchmarkFig14MFLOPSPerChip(b *testing.B) {
+	benchmarkModes(b, func(r experiments.ModeRow) float64 { return r.MFLOPSPerChipGain }, "mean-mflops-gain")
+}
+
+// BenchmarkSuiteBestBuild measures a full instrumented suite pass at the
+// best build — the simulator's end-to-end throughput.
+func BenchmarkSuiteBestBuild(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		for _, name := range experiments.SuiteNames() {
+			res, err := bgp.Run(bgp.RunConfig{
+				Benchmark: name,
+				Class:     s.Class,
+				Ranks:     s.Ranks,
+				Mode:      machine.VNM,
+				Opts:      experiments.BestBuild(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Metrics.ExecCycles == 0 {
+				b.Fatal("no cycles")
+			}
+		}
+	}
+}
+
+// Example-style sanity print exercised under -bench to make the scale
+// visible in benchmark logs.
+func BenchmarkScaleInfo(b *testing.B) {
+	s := benchScale()
+	b.Logf("scale: class %s, %d ranks", s.Class, s.Ranks)
+	for i := 0; i < b.N; i++ {
+		_ = fmt.Sprintf("%v", s)
+	}
+}

@@ -1,0 +1,226 @@
+// Package bgp is the public face of the Blue Gene/P performance-counter
+// workload-characterization suite: a full-system simulator of the Blue
+// Gene/P compute node (PPC450 cores, double-hummer SIMD FPU, L1/L2/L3/DDR2
+// hierarchy, torus and collective networks, and the 256-counter Universal
+// Performance Counter unit), the paper's counter-interface library
+// (Initialize/Start/Stop/Finalize with per-node binary dumps), the NAS
+// Parallel Benchmarks expressed as simulated workloads, an XL-compiler
+// optimization model, and the post-processing tools that mine counter
+// dumps into MFLOPS, DDR-traffic and instruction-mix metrics.
+//
+// The one-call entry point is Run:
+//
+//	res, err := bgp.Run(bgp.RunConfig{
+//	        Benchmark: "ft",
+//	        Class:     bgp.ClassA,
+//	        Ranks:     32,
+//	        Mode:      bgp.VNM,
+//	        Opts:      bgp.Options{Level: bgp.O5, Arch440d: true},
+//	})
+//	fmt.Println(res.Metrics.MFLOPS, res.Metrics.SIMDShare)
+//
+// which boots a partition, builds and instruments the benchmark, runs it
+// under the MPI runtime, and mines the per-node counter dumps. The
+// subsystems are available individually under internal/ for finer control
+// and are re-exported here where they form the public API.
+package bgp
+
+import (
+	"fmt"
+
+	"bgpsim/internal/bgpctr"
+	"bgpsim/internal/compiler"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/nas"
+	"bgpsim/internal/postproc"
+)
+
+// Re-exported workload and configuration vocabulary, so that typical users
+// only import this package.
+type (
+	// Class is a NAS problem class (S, W, A, B, C).
+	Class = nas.Class
+	// Options is an XL-compiler build configuration.
+	Options = compiler.Options
+	// Level is an XL optimization level.
+	Level = compiler.Level
+	// OpMode is a node operating mode (Figure 3).
+	OpMode = machine.OpMode
+	// Metrics are the derived paper-level quantities of a run.
+	Metrics = postproc.Metrics
+	// Analysis is the mined per-counter statistics of a run.
+	Analysis = postproc.Analysis
+	// Dump is one node's decoded counter file.
+	Dump = bgpctr.Dump
+	// Sampler is the periodic counter-timeline collector.
+	Sampler = bgpctr.Sampler
+)
+
+// NAS problem classes.
+const (
+	ClassS = nas.ClassS
+	ClassW = nas.ClassW
+	ClassA = nas.ClassA
+	ClassB = nas.ClassB
+	ClassC = nas.ClassC
+)
+
+// Compiler optimization levels.
+const (
+	O0 = compiler.O0
+	O3 = compiler.O3
+	O4 = compiler.O4
+	O5 = compiler.O5
+)
+
+// Node operating modes.
+const (
+	SMP1 = machine.SMP1
+	SMP4 = machine.SMP4
+	Dual = machine.Dual
+	VNM  = machine.VNM
+)
+
+// ParseClass parses a problem-class letter.
+func ParseClass(s string) (Class, error) { return nas.ParseClass(s) }
+
+// ParseOptions parses a compiler-flag spelling like "-O5 -qarch=440d".
+func ParseOptions(s string) (Options, error) { return compiler.ParseOptions(s) }
+
+// Benchmarks returns the names of the NAS benchmarks in suite order.
+func Benchmarks() []string {
+	all := nas.All()
+	names := make([]string, len(all))
+	for i, b := range all {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// RunConfig selects one instrumented benchmark run.
+type RunConfig struct {
+	// Benchmark is the NAS benchmark name ("mg", "ft", ...).
+	Benchmark string
+	// Class is the problem class.
+	Class Class
+	// Ranks is the requested MPI process count (SP and BT round it down
+	// to a square).
+	Ranks int
+	// Mode is the node operating mode.
+	Mode OpMode
+	// Opts is the compiler build configuration.
+	Opts Options
+	// Nodes overrides the partition size; 0 books exactly the nodes the
+	// ranks need in the given mode.
+	Nodes int
+	// L3Bytes overrides the shared L3 capacity per node: 0 keeps the
+	// production 8 MB, a negative value boots with the L3 disabled
+	// (the paper's 0 MB point).
+	L3Bytes int
+	// L2PrefetchDepth overrides the per-core L2 stream-prefetch depth:
+	// 0 keeps the production depth (2 lines ahead), a negative value
+	// disables prefetching — the §IX prefetch-amount study.
+	L2PrefetchDepth int
+	// L3PrefetchDepth enables the memory-side L3 prefetch engine with
+	// the given depth (0 = disabled, the production configuration).
+	L3PrefetchDepth int
+	// DumpDir, when non-empty, receives the per-node .bgpc counter
+	// files.
+	DumpDir string
+	// TimelineInterval, when nonzero, samples TimelineEvents of every
+	// node each time the simulation clock advances by this many cycles;
+	// the collected series are returned in Result.Timeline.
+	TimelineInterval uint64
+	// TimelineEvents are the event mnemonics to sample.
+	TimelineEvents []string
+}
+
+// Result is a completed instrumented run.
+type Result struct {
+	// Config echoes the run configuration (with Ranks/Nodes resolved).
+	Config RunConfig
+	// Label identifies the run in reports and CSV rows.
+	Label string
+	// Dumps are the decoded per-node counter files.
+	Dumps []*Dump
+	// Analysis is the cross-node mined statistics.
+	Analysis *Analysis
+	// Metrics are the derived whole-application metrics (set 0).
+	Metrics *Metrics
+	// Timeline holds the periodic counter samples when the run was
+	// configured with a TimelineInterval.
+	Timeline *Sampler
+}
+
+// Run executes one instrumented benchmark run end to end.
+func Run(cfg RunConfig) (*Result, error) {
+	b, err := nas.ByName(cfg.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("bgp: non-positive rank count %d", cfg.Ranks)
+	}
+	ranks := b.RanksFor(cfg.Ranks)
+	app, err := b.Build(nas.Config{Class: cfg.Class, Ranks: ranks, Opts: cfg.Opts})
+	if err != nil {
+		return nil, err
+	}
+
+	params := machine.DefaultParams()
+	switch {
+	case cfg.L3Bytes < 0:
+		params.Node.L3Bytes = 0
+	case cfg.L3Bytes > 0:
+		params.Node.L3Bytes = cfg.L3Bytes
+	}
+	switch {
+	case cfg.L2PrefetchDepth < 0:
+		params.Node.Core.Prefetch.Depth = 0
+	case cfg.L2PrefetchDepth > 0:
+		params.Node.Core.Prefetch.Depth = cfg.L2PrefetchDepth
+	}
+	if cfg.L3PrefetchDepth > 0 {
+		params.Node.L3PrefetchDepth = cfg.L3PrefetchDepth
+	}
+	nodes := cfg.Nodes
+	if nodes == 0 {
+		rpn := cfg.Mode.RanksPerNode()
+		nodes = (app.Ranks + rpn - 1) / rpn
+	}
+	m := machine.New(nodes, cfg.Mode, params)
+
+	j, err := mpi.NewJob(m, app.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	var sampler *Sampler
+	if cfg.TimelineInterval > 0 {
+		sampler = bgpctr.NewSampler(cfg.TimelineInterval, cfg.TimelineEvents...)
+		sampler.Attach(j)
+	}
+	dumps, err := bgpctr.Instrument(j, cfg.DumpDir, app.Body)
+	if err != nil {
+		return nil, err
+	}
+	analysis, err := postproc.Analyze(dumps)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Ranks = app.Ranks
+	cfg.Nodes = nodes
+	label := fmt.Sprintf("%s.%s %s %v x%d", cfg.Benchmark, cfg.Class, cfg.Opts, cfg.Mode, cfg.Ranks)
+	metrics, err := postproc.Compute(analysis, bgpctr.WholeAppSet, label)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Config:   cfg,
+		Label:    label,
+		Dumps:    dumps,
+		Analysis: analysis,
+		Metrics:  metrics,
+		Timeline: sampler,
+	}, nil
+}

@@ -1,0 +1,58 @@
+// Bgpevents lists the monitorable event space of the Universal Performance
+// Counter unit: 4 counter modes × 256 counters = 1024 event slots, with the
+// mnemonic wired at each slot (reserved slots read zero). This is the
+// catalog users consult when picking counter modes and interpreting mined
+// statistics.
+//
+//	bgpevents              # wired events only
+//	bgpevents -all         # every slot, including reserved ones
+//	bgpevents -mode 2      # one counter mode
+//	bgpevents -find DDR    # events whose mnemonic contains a substring
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"bgpsim/internal/upc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bgpevents: ")
+
+	var (
+		all  = flag.Bool("all", false, "list reserved slots too")
+		mode = flag.Int("mode", -1, "restrict to one counter mode (0-3)")
+		find = flag.String("find", "", "only events whose mnemonic contains this substring")
+	)
+	flag.Parse()
+	if *mode > int(upc.NumModes)-1 {
+		log.Fatalf("mode %d out of range (0-%d)", *mode, upc.NumModes-1)
+	}
+
+	fmt.Printf("UPC event space: %d modes × %d counters = %d events, %d wired\n\n",
+		upc.NumModes, upc.NumCounters, upc.NumEvents, upc.DefinedEvents())
+	fmt.Printf("%-6s %-8s %s\n", "mode", "counter", "event")
+
+	listed := 0
+	for m := upc.Mode(0); m < upc.NumModes; m++ {
+		if *mode >= 0 && m != upc.Mode(*mode) {
+			continue
+		}
+		for i := 0; i < upc.NumCounters; i++ {
+			name := upc.EventName(upc.MakeEventID(m, i))
+			if name == "BGP_RESERVED" && !*all {
+				continue
+			}
+			if *find != "" && !strings.Contains(name, strings.ToUpper(*find)) {
+				continue
+			}
+			fmt.Printf("%-6d %-8d %s\n", m, i, name)
+			listed++
+		}
+	}
+	fmt.Printf("\n%d events listed\n", listed)
+}

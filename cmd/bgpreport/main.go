@@ -1,0 +1,143 @@
+// Bgpreport regenerates every figure of the paper's evaluation in one run
+// and writes the full report — the data behind EXPERIMENTS.md.
+//
+//	bgpreport                    # class B / 32 ranks (the paper's per-rank regime)
+//	bgpreport -class C -ranks 128  # the paper's full scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	bgp "bgpsim"
+	"bgpsim/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bgpreport: ")
+
+	var (
+		class = flag.String("class", "B", "problem class")
+		ranks = flag.Int("ranks", 32, "process count")
+		out   = flag.String("o", "", "write the report to this file instead of stdout")
+	)
+	flag.Parse()
+
+	cls, err := bgp.ParseClass(*class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := experiments.Scale{Class: cls, Ranks: *ranks}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	fmt.Fprintf(w, "Blue Gene/P workload characterization — full evaluation\n")
+	fmt.Fprintf(w, "class %s, %d processes\n\n", cls, *ranks)
+
+	step := func(name string, f func() error) {
+		start := time.Now()
+		log.Printf("running %s...", name)
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		log.Printf("%s done in %v", name, time.Since(start).Round(time.Second))
+	}
+
+	step("figure 6", func() error {
+		rows, err := experiments.Fig6Profile(s)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig6(w, rows)
+		fmt.Fprintln(w)
+		return nil
+	})
+	step("figures 7-8", func() error {
+		for _, t := range []struct{ bench, figure string }{
+			{"ft", "Figure 7"}, {"mg", "Figure 8"},
+		} {
+			pts, err := experiments.CompilerSweep(t.bench, s)
+			if err != nil {
+				return err
+			}
+			experiments.RenderCompilerSIMD(w, t.bench, pts, t.figure)
+			fmt.Fprintln(w)
+		}
+		return nil
+	})
+	step("figures 9-10", func() error {
+		for _, t := range []struct {
+			names  []string
+			figure string
+		}{
+			{experiments.SuiteNames()[:4], "Figure 9"},
+			{experiments.SuiteNames()[4:], "Figure 10"},
+		} {
+			rows, err := experiments.Fig910ExecTimes(t.names, s)
+			if err != nil {
+				return err
+			}
+			experiments.RenderExecTimes(w, rows, t.figure)
+			fmt.Fprintln(w)
+		}
+		return nil
+	})
+	step("figure 11", func() error {
+		rows, err := experiments.Fig11L3Sweep(experiments.SuiteNames(), s)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig11(w, rows)
+		fmt.Fprintln(w)
+		return nil
+	})
+	step("figures 12-14", func() error {
+		rows, err := experiments.Fig121314Modes(experiments.SuiteNames(), s)
+		if err != nil {
+			return err
+		}
+		experiments.RenderModes(w, rows)
+		fmt.Fprintln(w)
+		return nil
+	})
+	step("extension: prefetch sweep", func() error {
+		rows, err := experiments.PrefetchSweep(experiments.SuiteNames(), s)
+		if err != nil {
+			return err
+		}
+		experiments.RenderPrefetch(w, rows)
+		fmt.Fprintln(w)
+		return nil
+	})
+	step("extension: L3 prefetch sweep", func() error {
+		rows, err := experiments.L3PrefetchSweep(experiments.SuiteNames(), s)
+		if err != nil {
+			return err
+		}
+		experiments.RenderL3Prefetch(w, rows)
+		fmt.Fprintln(w)
+		return nil
+	})
+	step("extension: hybrid MPI+OpenMP", func() error {
+		rows, err := experiments.HybridModes(experiments.SuiteNames(), s)
+		if err != nil {
+			return err
+		}
+		experiments.RenderHybrid(w, rows)
+		fmt.Fprintln(w)
+		return nil
+	})
+}

@@ -1,0 +1,145 @@
+// Bgprun runs one NAS benchmark on a simulated Blue Gene/P partition with
+// the performance-counter interface library linked in, writes the per-node
+// binary counter dumps, and prints the derived whole-application metrics.
+//
+// Example — the paper's headline configuration:
+//
+//	bgprun -bench ft -class C -ranks 128 -mode VNM -opt "-O5 -qarch=440d" -dump ./dumps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	bgp "bgpsim"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/postproc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bgprun: ")
+
+	var (
+		bench    = flag.String("bench", "mg", "NAS benchmark: "+strings.Join(bgp.Benchmarks(), ", "))
+		class    = flag.String("class", "A", "problem class: S, W, A, B or C")
+		ranks    = flag.Int("ranks", 32, "MPI process count (SP/BT round down to a square)")
+		mode     = flag.String("mode", "VNM", "node operating mode: SMP1, SMP4, DUAL or VNM")
+		opt      = flag.String("opt", "-O5 -qarch=440d", "compiler build, e.g. \"-O3\" or \"-O5 -qarch=440d\"")
+		l3MB     = flag.Int("l3", -1, "L3 size in MB per node (-1 = default 8, 0 = disabled)")
+		nodes    = flag.Int("nodes", 0, "partition size in nodes (0 = as many as the ranks need)")
+		dumpDir  = flag.String("dump", "", "directory for per-node .bgpc counter dumps")
+		csvOut   = flag.String("csv", "", "write the metrics record to this CSV file")
+		timeline = flag.String("timeline", "", "write a periodic counter timeline to this CSV file")
+		tlEvery  = flag.Uint64("timeline-interval", 1_000_000, "timeline sampling interval in cycles")
+		tlEvents = flag.String("timeline-events", "BGP_PU0_CYCLES,BGP_NODE_FPU_FMA,BGP_DDR_READ_LINES",
+			"comma-separated event mnemonics to sample")
+	)
+	flag.Parse()
+
+	cls, err := bgp.ParseClass(*class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts, err := bgp.ParseOptions(*opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opMode, err := parseMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := bgp.RunConfig{
+		Benchmark: *bench,
+		Class:     cls,
+		Ranks:     *ranks,
+		Mode:      opMode,
+		Opts:      opts,
+		Nodes:     *nodes,
+		DumpDir:   *dumpDir,
+	}
+	switch {
+	case *l3MB == 0:
+		cfg.L3Bytes = -1
+	case *l3MB > 0:
+		cfg.L3Bytes = *l3MB << 20
+	}
+	if *dumpDir != "" {
+		if err := os.MkdirAll(*dumpDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *timeline != "" {
+		cfg.TimelineInterval = *tlEvery
+		cfg.TimelineEvents = strings.Split(*tlEvents, ",")
+	}
+
+	res, err := bgp.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Metrics
+	fmt.Printf("run:              %s\n", res.Label)
+	fmt.Printf("nodes:            %d (%d ranks)\n", res.Config.Nodes, res.Config.Ranks)
+	fmt.Printf("execution:        %d cycles (%.4f s at 850 MHz)\n", m.ExecCycles, m.ExecSeconds)
+	fmt.Printf("MFLOPS:           %.1f total, %.1f per chip\n", m.MFLOPS, m.MFLOPSPerChip)
+	fmt.Printf("SIMD share:       %.1f%% of FP instructions\n", 100*m.SIMDShare)
+	fmt.Printf("L3-DDR traffic:   %.1f MB (%.1f MB/s)\n", float64(m.DDRTrafficBytes)/1e6, m.DDRBandwidthMBs)
+	fmt.Printf("L1 hit rate:      %.2f%%\n", 100*m.L1HitRate)
+	fmt.Printf("L3 miss rate:     %.2f%%\n", 100*m.L3MissRate)
+	fmt.Printf("FP profile:\n")
+	var totalFP float64
+	for _, ev := range postproc.FPClassEvents {
+		totalFP += m.FPMix[ev]
+	}
+	for _, ev := range postproc.FPClassEvents {
+		if m.FPMix[ev] == 0 {
+			continue
+		}
+		fmt.Printf("  %-28s %12.0f (%5.1f%%)\n", ev, m.FPMix[ev], 100*m.FPMix[ev]/totalFP)
+	}
+	if *dumpDir != "" {
+		fmt.Printf("dumps:            %d files in %s\n", len(res.Dumps), *dumpDir)
+	}
+
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Timeline.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("timeline CSV:     %s (%d samples)\n", *timeline, len(res.Timeline.Samples()))
+	}
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := postproc.WriteMetricsCSV(f, []*postproc.Metrics{m}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics CSV:      %s\n", *csvOut)
+	}
+}
+
+func parseMode(s string) (machine.OpMode, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "SMP1", "SMP/1", "SMP":
+		return machine.SMP1, nil
+	case "SMP4", "SMP/4":
+		return machine.SMP4, nil
+	case "DUAL":
+		return machine.Dual, nil
+	case "VNM", "VN":
+		return machine.VNM, nil
+	}
+	return 0, fmt.Errorf("unknown operating mode %q", s)
+}

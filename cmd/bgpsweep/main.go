@@ -1,0 +1,117 @@
+// Bgpsweep regenerates one figure of the paper's evaluation: it drives the
+// parameter sweep behind the figure (compiler builds, L3 sizes, or
+// operating modes) and prints the series the paper plots.
+//
+// Examples:
+//
+//	bgpsweep -fig 6                 # dynamic FP instruction profile
+//	bgpsweep -fig 7                 # FT SIMD instructions by build
+//	bgpsweep -fig 11 -class C -ranks 128
+//	bgpsweep -fig 12                # VNM vs SMP/1 comparison (also 13, 14)
+//	bgpsweep -ext prefetch          # §IX extension: L2 prefetch-depth sweep
+//	bgpsweep -ext hybrid            # §IX extension: MPI+OpenMP vs pure MPI
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	bgp "bgpsim"
+	"bgpsim/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bgpsweep: ")
+
+	var (
+		fig   = flag.Int("fig", 6, "figure to regenerate: 6, 7, 8, 9, 10, 11, 12, 13 or 14")
+		ext   = flag.String("ext", "", "extension study instead of a figure: prefetch, l3prefetch or hybrid")
+		class = flag.String("class", "B", "problem class: S, W, A, B or C")
+		ranks = flag.Int("ranks", 32, "process count (class B / 32 ranks reproduces the paper's per-rank regime)")
+	)
+	flag.Parse()
+
+	cls, err := bgp.ParseClass(*class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := experiments.Scale{Class: cls, Ranks: *ranks}
+	w := os.Stdout
+
+	switch *ext {
+	case "":
+		// A numbered figure is selected below.
+	case "prefetch":
+		rows, err := experiments.PrefetchSweep(experiments.SuiteNames(), s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderPrefetch(w, rows)
+		return
+	case "l3prefetch":
+		rows, err := experiments.L3PrefetchSweep(experiments.SuiteNames(), s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderL3Prefetch(w, rows)
+		return
+	case "hybrid":
+		rows, err := experiments.HybridModes(experiments.SuiteNames(), s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderHybrid(w, rows)
+		return
+	default:
+		log.Fatalf("unknown extension %q (have prefetch, l3prefetch, hybrid)", *ext)
+	}
+
+	switch *fig {
+	case 6:
+		rows, err := experiments.Fig6Profile(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderFig6(w, rows)
+	case 7, 8:
+		bench := "ft"
+		figure := "Figure 7"
+		if *fig == 8 {
+			bench = "mg"
+			figure = "Figure 8"
+		}
+		pts, err := experiments.CompilerSweep(bench, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderCompilerSIMD(w, bench, pts, figure)
+	case 9, 10:
+		names := experiments.SuiteNames()[:4]
+		figure := "Figure 9"
+		if *fig == 10 {
+			names = experiments.SuiteNames()[4:]
+			figure = "Figure 10"
+		}
+		rows, err := experiments.Fig910ExecTimes(names, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderExecTimes(w, rows, figure)
+	case 11:
+		rows, err := experiments.Fig11L3Sweep(experiments.SuiteNames(), s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderFig11(w, rows)
+	case 12, 13, 14:
+		rows, err := experiments.Fig121314Modes(experiments.SuiteNames(), s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderModes(w, rows)
+	default:
+		log.Fatalf("unknown figure %d (the paper has figures 6-14)", *fig)
+	}
+}

@@ -1,0 +1,187 @@
+package bgp_test
+
+// Cross-stack integration tests: properties that must hold through the
+// whole pipeline — kernels → compiler → MPI runtime → cores → UPC →
+// interface library → binary dumps → post-processing.
+
+import (
+	"testing"
+
+	bgp "bgpsim"
+	"bgpsim/internal/postproc"
+)
+
+func run(t *testing.T, cfg bgp.RunConfig) *bgp.Result {
+	t.Helper()
+	res, err := bgp.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCountersConserveFlops: the flop count derived from the mined
+// counters must be invariant across builds of the same problem — the
+// optimizer may reshape instructions but never the arithmetic.
+func TestCountersConserveFlops(t *testing.T) {
+	for _, bench := range []string{"mg", "cg", "lu"} {
+		var base float64
+		for _, opts := range []bgp.Options{
+			{Level: bgp.O0},
+			{Level: bgp.O3, Arch440d: true},
+			{Level: bgp.O5, Arch440d: true},
+		} {
+			res := run(t, bgp.RunConfig{
+				Benchmark: bench, Class: bgp.ClassS, Ranks: 8,
+				Mode: bgp.VNM, Opts: opts,
+			})
+			if base == 0 {
+				base = res.Metrics.Flops
+				continue
+			}
+			ratio := res.Metrics.Flops / base
+			if ratio < 0.98 || ratio > 1.02 {
+				t.Errorf("%s %v: flops %.3g vs baseline %.3g (ratio %.3f)",
+					bench, opts, res.Metrics.Flops, base, ratio)
+			}
+		}
+	}
+}
+
+// TestCountersConserveWorkAcrossModes: the same problem solved in
+// different operating modes executes the same arithmetic.
+func TestCountersConserveWorkAcrossModes(t *testing.T) {
+	var flops []float64
+	for _, mode := range []bgp.OpMode{bgp.SMP1, bgp.Dual, bgp.VNM} {
+		res := run(t, bgp.RunConfig{
+			Benchmark: "mg", Class: bgp.ClassS, Ranks: 8,
+			Mode: mode, Opts: bgp.Options{Level: bgp.O3},
+		})
+		flops = append(flops, res.Metrics.Flops)
+	}
+	for i := 1; i < len(flops); i++ {
+		ratio := flops[i] / flops[0]
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("mode %d: flops ratio %.3f vs SMP1", i, ratio)
+		}
+	}
+}
+
+// TestEndToEndDeterminism: two identical runs produce identical dumps.
+func TestEndToEndDeterminism(t *testing.T) {
+	cfg := bgp.RunConfig{
+		Benchmark: "ft", Class: bgp.ClassS, Ranks: 8,
+		Mode: bgp.VNM, Opts: bgp.Options{Level: bgp.O4, Arch440d: true},
+	}
+	a, b := run(t, cfg), run(t, cfg)
+	if len(a.Dumps) != len(b.Dumps) {
+		t.Fatal("dump counts differ")
+	}
+	for i := range a.Dumps {
+		if len(a.Dumps[i].Sets) != len(b.Dumps[i].Sets) {
+			t.Fatalf("node %d set counts differ", i)
+		}
+		for s := range a.Dumps[i].Sets {
+			if a.Dumps[i].Sets[s].Counts != b.Dumps[i].Sets[s].Counts {
+				t.Errorf("node %d set %d counters differ between identical runs", i, s)
+			}
+		}
+	}
+}
+
+// TestDumpFilesRoundTripThroughMiner: metrics computed from the on-disk
+// dump files equal the in-memory results.
+func TestDumpFilesRoundTripThroughMiner(t *testing.T) {
+	dir := t.TempDir()
+	res := run(t, bgp.RunConfig{
+		Benchmark: "cg", Class: bgp.ClassS, Ranks: 8,
+		Mode: bgp.VNM, Opts: bgp.Options{Level: bgp.O5, Arch440d: true},
+		DumpDir: dir,
+	})
+	dumps, err := postproc.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := postproc.Analyze(dumps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := postproc.Compute(a, 0, "reread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExecCycles != res.Metrics.ExecCycles ||
+		m.DDRTrafficBytes != res.Metrics.DDRTrafficBytes ||
+		m.Flops != res.Metrics.Flops {
+		t.Errorf("file-mined metrics differ: %+v vs %+v", m, res.Metrics)
+	}
+}
+
+// TestCyclesAndTrafficCoupled: disabling the L3 must increase both DDR
+// traffic and execution time, and their product-level ordering must agree.
+func TestCyclesAndTrafficCoupled(t *testing.T) {
+	with := run(t, bgp.RunConfig{
+		Benchmark: "is", Class: bgp.ClassS, Ranks: 8, Mode: bgp.VNM,
+	})
+	without := run(t, bgp.RunConfig{
+		Benchmark: "is", Class: bgp.ClassS, Ranks: 8, Mode: bgp.VNM,
+		L3Bytes: -1,
+	})
+	if without.Metrics.DDRTrafficBytes <= with.Metrics.DDRTrafficBytes {
+		t.Error("no-L3 run moved less DDR traffic")
+	}
+	if without.Metrics.ExecCycles <= with.Metrics.ExecCycles {
+		t.Error("no-L3 run was not slower")
+	}
+}
+
+// TestMFLOPSBelowPeak: no run may exceed the node's 13.6 GFLOPS peak
+// (4 cores × 850 MHz × 4 flops per SIMD FMA).
+func TestMFLOPSBelowPeak(t *testing.T) {
+	for _, bench := range bgp.Benchmarks() {
+		res := run(t, bgp.RunConfig{
+			Benchmark: bench, Class: bgp.ClassS, Ranks: 8,
+			Mode: bgp.VNM, Opts: bgp.Options{Level: bgp.O5, Arch440d: true},
+		})
+		peak := 13600.0 * float64(res.Config.Nodes)
+		if res.Metrics.MFLOPS >= peak {
+			t.Errorf("%s: %.0f MFLOPS exceeds machine peak %.0f", bench, res.Metrics.MFLOPS, peak)
+		}
+		if res.Metrics.MFLOPSPerChip >= 13600 {
+			t.Errorf("%s: %.0f MFLOPS/chip exceeds chip peak", bench, res.Metrics.MFLOPSPerChip)
+		}
+	}
+}
+
+// TestInstrumentationOverheadNegligible: the interface library's cycle
+// cost must be invisible at application scale (the paper's point).
+func TestInstrumentationOverheadNegligible(t *testing.T) {
+	res := run(t, bgp.RunConfig{
+		Benchmark: "ep", Class: bgp.ClassS, Ranks: 4, Mode: bgp.VNM,
+	})
+	// 196 cycles of overhead against the run's execution time.
+	if frac := 196.0 / float64(res.Metrics.ExecCycles); frac > 0.001 {
+		t.Errorf("overhead fraction %.5f of a class-S run; must be negligible", frac)
+	}
+}
+
+// TestEvenOddModeSplitCoversBothEventSets: a multi-node run must deliver
+// both the aggregate events (even nodes) and the system events (odd
+// nodes), realizing the 512-events-in-one-run mechanism.
+func TestEvenOddModeSplitCoversBothEventSets(t *testing.T) {
+	res := run(t, bgp.RunConfig{
+		Benchmark: "mg", Class: bgp.ClassS, Ranks: 8, Mode: bgp.VNM,
+	})
+	fma := res.Analysis.Event(0, "BGP_NODE_FPU_FMA")
+	col := res.Analysis.Event(0, "BGP_COL_BARRIER")
+	if fma.Nodes == 0 {
+		t.Error("aggregate events not monitored anywhere")
+	}
+	if col.Nodes == 0 {
+		t.Error("system events not monitored anywhere")
+	}
+	if fma.Nodes+col.Nodes != res.Analysis.TotalNodes {
+		t.Errorf("mode split covers %d+%d of %d nodes",
+			fma.Nodes, col.Nodes, res.Analysis.TotalNodes)
+	}
+}

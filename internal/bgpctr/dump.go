@@ -1,0 +1,177 @@
+package bgpctr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"bgpsim/internal/core"
+	"bgpsim/internal/upc"
+)
+
+// The binary dump format written at each node by Finalize:
+//
+//	magic   "BGPC"          4 bytes
+//	version u32             currently 1
+//	nodeID  u32
+//	mode    u32             UPC counter mode of this node
+//	clockHz u64
+//	numSets u32
+//	per set:
+//	    id         u32
+//	    pairs      u64     start/stop pairs accumulated
+//	    firstCycle u64     Time Base at first Start
+//	    lastCycle  u64     Time Base at last Stop
+//	    counts     256×u64
+//	crc32   u32             IEEE, over everything before it
+//
+// All integers are big-endian.
+
+// DumpMagic identifies a counter dump file.
+const DumpMagic = "BGPC"
+
+// DumpVersion is the current format version.
+const DumpVersion = 1
+
+// Dump is a decoded per-node counter file.
+type Dump struct {
+	// NodeID is the node that wrote the dump.
+	NodeID int
+	// Mode is the UPC counter mode the node monitored.
+	Mode upc.Mode
+	// ClockHz is the core clock, for cycle→time conversion.
+	ClockHz uint64
+	// Sets are the instrumented regions in first-start order.
+	Sets []DumpSet
+}
+
+// DumpSet is one instrumented region's accumulated counters.
+type DumpSet struct {
+	// ID is the set number passed to Start/Stop.
+	ID int
+	// Pairs is the number of Start/Stop pairs accumulated.
+	Pairs uint64
+	// FirstCycle and LastCycle bracket the region in Time Base cycles.
+	FirstCycle, LastCycle uint64
+	// Counts holds the 256 counter deltas.
+	Counts [upc.NumCounters]uint64
+}
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	return cw.w.Write(p)
+}
+
+func (s *Session) writeDump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	write := func(v any) error { return binary.Write(cw, binary.BigEndian, v) }
+
+	if _, err := cw.Write([]byte(DumpMagic)); err != nil {
+		return err
+	}
+	for _, v := range []any{
+		uint32(DumpVersion),
+		uint32(s.nd.ID()),
+		uint32(s.mode),
+		uint64(core.ClockHz),
+		uint32(len(s.order)),
+	} {
+		if err := write(v); err != nil {
+			return err
+		}
+	}
+	for _, id := range s.order {
+		d := s.sets[id]
+		for _, v := range []any{
+			uint32(d.id), d.pairs, d.firstCycle, d.lastCycle,
+		} {
+			if err := write(v); err != nil {
+				return err
+			}
+		}
+		if err := write(&d.counts); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.BigEndian, cw.crc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// ReadDump decodes and validates one node dump.
+func ReadDump(r io.Reader) (*Dump, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	read := func(v any) error { return binary.Read(cr, binary.BigEndian, v) }
+
+	var magic [4]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, fmt.Errorf("bgpctr: reading magic: %w", err)
+	}
+	if string(magic[:]) != DumpMagic {
+		return nil, fmt.Errorf("bgpctr: bad magic %q", magic)
+	}
+	var version, nodeID, mode, numSets uint32
+	var clockHz uint64
+	for _, v := range []any{&version, &nodeID, &mode, &clockHz, &numSets} {
+		if err := read(v); err != nil {
+			return nil, fmt.Errorf("bgpctr: truncated header: %w", err)
+		}
+	}
+	if version != DumpVersion {
+		return nil, fmt.Errorf("bgpctr: unsupported dump version %d", version)
+	}
+	if mode >= upc.NumModes {
+		return nil, fmt.Errorf("bgpctr: corrupt mode %d", mode)
+	}
+	if numSets > 1<<16 {
+		return nil, fmt.Errorf("bgpctr: implausible set count %d", numSets)
+	}
+	d := &Dump{
+		NodeID:  int(nodeID),
+		Mode:    upc.Mode(mode),
+		ClockHz: clockHz,
+		Sets:    make([]DumpSet, numSets),
+	}
+	for i := range d.Sets {
+		set := &d.Sets[i]
+		var id uint32
+		for _, v := range []any{&id, &set.Pairs, &set.FirstCycle, &set.LastCycle} {
+			if err := read(v); err != nil {
+				return nil, fmt.Errorf("bgpctr: truncated set %d: %w", i, err)
+			}
+		}
+		set.ID = int(id)
+		if err := read(&set.Counts); err != nil {
+			return nil, fmt.Errorf("bgpctr: truncated counters of set %d: %w", i, err)
+		}
+	}
+	want := cr.crc
+	var got uint32
+	if err := binary.Read(cr.r, binary.BigEndian, &got); err != nil {
+		return nil, fmt.Errorf("bgpctr: missing checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("bgpctr: checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	return d, nil
+}

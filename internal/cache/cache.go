@@ -1,0 +1,246 @@
+// Package cache provides the building blocks of the Blue Gene/P node memory
+// hierarchy: a generic set-associative cache with LRU or round-robin
+// replacement (round-robin for the private 32 KB L1 data caches, matching
+// the PPC450; LRU for the shared, size-configurable L3) and
+// a stream-prefetching L2 front end (Blue Gene/P's private "prefetching L2"
+// is a small buffer driven by stream-detection engines, not a conventional
+// cache).
+//
+// All structures are single-writer by construction: the machine scheduler
+// advances at most one rank at a time, so no locking is needed and results
+// are deterministic.
+package cache
+
+import "fmt"
+
+// Replacement selects a victim-choice policy.
+type Replacement uint8
+
+// Replacement policies.
+const (
+	// ReplaceLRU evicts the least-recently-used way (the L3 policy).
+	ReplaceLRU Replacement = iota
+	// ReplaceRoundRobin cycles a per-set victim cursor, matching the
+	// PPC450 L1 caches (and costing no bookkeeping on hits).
+	ReplaceRoundRobin
+)
+
+// Cache is a set-associative cache with a configurable replacement policy.
+type Cache struct {
+	name      string
+	lineBits  uint
+	setBits   uint
+	ways      int
+	writeback bool
+	policy    Replacement
+
+	// tags[set*ways+way] holds the line address (addr >> lineBits) + 1,
+	// so that 0 means invalid.
+	tags   []uint64
+	stamp  []uint64 // LRU only
+	cursor []uint16 // round-robin only, one per set
+	dirty  []bool
+	clock  uint64
+
+	// Hits, Misses and Writebacks are free-running event counters wired
+	// to the UPC unit.
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// Config describes a cache geometry.
+type Config struct {
+	// Name labels the cache for diagnostics ("L1D.2", "L3").
+	Name string
+	// SizeBytes is the total capacity. Must be Sets*Ways*LineBytes.
+	SizeBytes int
+	// LineBytes is the line size (a power of two).
+	LineBytes int
+	// Ways is the associativity.
+	Ways int
+	// WriteBack selects write-back dirty-line tracking; when false the
+	// cache is write-through and never produces writebacks.
+	WriteBack bool
+	// Replacement selects the victim policy (LRU by default).
+	Replacement Replacement
+}
+
+// New creates a cache. It panics on a geometry that is not a power-of-two
+// set count, since such a cache cannot index by address bits.
+func New(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineBytes))
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: non-positive associativity %d", cfg.Name, cfg.Ways))
+	}
+	if cfg.SizeBytes <= 0 || cfg.SizeBytes%(cfg.LineBytes*cfg.Ways) != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not divisible by way capacity", cfg.Name, cfg.SizeBytes))
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, sets))
+	}
+	c := &Cache{
+		name:      cfg.Name,
+		lineBits:  log2(uint(cfg.LineBytes)),
+		setBits:   log2(uint(sets)),
+		ways:      cfg.Ways,
+		writeback: cfg.WriteBack,
+		policy:    cfg.Replacement,
+		tags:      make([]uint64, sets*cfg.Ways),
+	}
+	if cfg.Replacement == ReplaceRoundRobin {
+		c.cursor = make([]uint16, sets)
+	} else {
+		c.stamp = make([]uint64, sets*cfg.Ways)
+	}
+	if cfg.WriteBack {
+		c.dirty = make([]bool, sets*cfg.Ways)
+	}
+	return c
+}
+
+func log2(v uint) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// SizeBytes returns the cache capacity.
+func (c *Cache) SizeBytes() int {
+	return (1 << c.setBits) * c.ways * (1 << c.lineBits)
+}
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return 1 << c.lineBits }
+
+// Result reports the outcome of a cache access.
+type Result struct {
+	// Hit reports whether the line was present.
+	Hit bool
+	// Victim is the address of the evicted line when a miss displaced a
+	// valid line; VictimValid is false otherwise.
+	Victim      uint64
+	VictimValid bool
+	// VictimDirty reports whether the displaced line was dirty and must
+	// be written back to the next level.
+	VictimDirty bool
+}
+
+// Access looks up addr, allocating the line on a miss (write-allocate).
+// When write is true and the cache is write-back, the line is marked dirty.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	line := addr>>c.lineBits + 1
+	set := (line - 1) & (1<<c.setBits - 1)
+	base := int(set) * c.ways
+
+	// Fast path: hits only touch the tag array (and one stamp for LRU).
+	tags := c.tags[base : base+c.ways]
+	for w, tag := range tags {
+		if tag == line {
+			i := base + w
+			c.Hits++
+			if c.policy == ReplaceLRU {
+				c.clock++
+				c.stamp[i] = c.clock
+			}
+			if write && c.writeback {
+				c.dirty[i] = true
+			}
+			return Result{Hit: true}
+		}
+	}
+
+	// Miss: pick the victim way.
+	var oldest int
+	if c.policy == ReplaceRoundRobin {
+		cur := c.cursor[set]
+		oldest = base + int(cur)
+		c.cursor[set] = uint16((int(cur) + 1) % c.ways)
+	} else {
+		c.clock++
+		oldest = base
+		oldestStamp := c.stamp[base]
+		for w := 1; w < c.ways; w++ {
+			if i := base + w; c.stamp[i] < oldestStamp {
+				oldest, oldestStamp = i, c.stamp[i]
+			}
+		}
+	}
+
+	c.Misses++
+	var r Result
+	if c.tags[oldest] != 0 {
+		r.Victim = (c.tags[oldest] - 1) << c.lineBits
+		r.VictimValid = true
+		if c.writeback && c.dirty[oldest] {
+			r.VictimDirty = true
+			c.Writebacks++
+		}
+	}
+	c.tags[oldest] = line
+	if c.policy == ReplaceLRU {
+		c.stamp[oldest] = c.clock
+	}
+	if c.writeback {
+		c.dirty[oldest] = write
+	}
+	return r
+}
+
+// Contains reports whether addr's line is resident, without touching LRU
+// state or counters.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr>>c.lineBits + 1
+	set := (line - 1) & (1<<c.setBits - 1)
+	base := int(set) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes addr's line if present (a coherence snoop hit) and
+// reports whether it was resident. The dirty bit is dropped with the line:
+// the writer's data supersedes it.
+func (c *Cache) Invalidate(addr uint64) bool {
+	line := addr>>c.lineBits + 1
+	set := (line - 1) & (1<<c.setBits - 1)
+	base := int(set) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == line {
+			c.tags[i] = 0
+			if c.writeback {
+				c.dirty[i] = false
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Reset invalidates all lines and clears event counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+	for i := range c.stamp {
+		c.stamp[i] = 0
+	}
+	for i := range c.cursor {
+		c.cursor[i] = 0
+	}
+	for i := range c.dirty {
+		c.dirty[i] = false
+	}
+	c.clock = 0
+	c.Hits, c.Misses, c.Writebacks = 0, 0, 0
+}

@@ -1,0 +1,225 @@
+package cache
+
+// Prefetcher models the Blue Gene/P private L2: a small prefetch buffer fed
+// by sequential-stream detection engines. It is not a conventional cache —
+// its job is to recognize up to NumStreams concurrent sequential line
+// streams per core and stage upcoming lines close to the core so that
+// streaming loads pay L2 latency instead of L3/DDR latency.
+//
+// The caller (the node's per-core memory port) supplies line addresses at
+// L3-line granularity and performs the actual fill of prefetched lines from
+// the lower levels, so DDR traffic caused by prefetching is accounted where
+// it occurs.
+//
+// The buffer is a small FIFO array: it sits on the simulator's hottest path
+// (every L1 miss probes it), so it avoids map overhead.
+type Prefetcher struct {
+	det    *StreamDetector
+	buffer []uint64 // line+1; 0 = empty slot
+	next   int      // FIFO replacement cursor
+
+	// Hits counts accesses satisfied from the prefetch buffer.
+	Hits uint64
+	// Misses counts accesses that were not buffered.
+	Misses uint64
+	// Issued counts prefetch requests sent to the lower levels.
+	Issued uint64
+}
+
+type stream struct {
+	last  uint64
+	delta int64
+	// conf is false while only one access has been seen; the second
+	// access within the detector's maxDelta locks the stream's stride.
+	conf  bool
+	hits  int
+	valid bool
+}
+
+// DefaultMaxDelta is the largest line stride (in lines, either direction)
+// the detection engines lock onto; wider jumps look random to them.
+const DefaultMaxDelta = 4
+
+// StreamDetector is the stride-detection half of a prefetch engine: it
+// watches a line-address stream and proposes the next lines to prefetch.
+// The L2 prefetcher couples one to a staging buffer; the L3 prefetch engine
+// feeds its proposals straight into the shared cache.
+type StreamDetector struct {
+	streams  []stream
+	maxDelta int64
+	depth    int
+	want     []uint64
+}
+
+// NewStreamDetector creates a detector with the given engine count,
+// maximum lockable stride (in lines) and prefetch depth. Depth 0 disables
+// prefetching (the detector still tracks, but proposes nothing).
+func NewStreamDetector(numStreams int, maxDelta int64, depth int) *StreamDetector {
+	if numStreams <= 0 || maxDelta <= 0 || depth < 0 {
+		panic("cache: invalid stream detector configuration")
+	}
+	return &StreamDetector{
+		streams:  make([]stream, numStreams),
+		maxDelta: maxDelta,
+		depth:    depth,
+		want:     make([]uint64, 0, depth),
+	}
+}
+
+// Observe presents a demand line address and returns the lines the engines
+// want prefetched (the slice is reused by the next call). The filter
+// callback suppresses proposals the caller already has staged (nil = no
+// filtering).
+func (d *StreamDetector) Observe(line uint64, staged func(uint64) bool) []uint64 {
+	// Does this access continue a locked stream?
+	for i := range d.streams {
+		s := &d.streams[i]
+		if s.valid && s.conf && line == uint64(int64(s.last)+s.delta) {
+			s.last = line
+			s.hits++
+			return d.ahead(s, staged)
+		}
+	}
+	// Does it lock a tentative stream?
+	for i := range d.streams {
+		s := &d.streams[i]
+		if !s.valid || s.conf || line == s.last {
+			continue
+		}
+		if dd := int64(line) - int64(s.last); dd >= -d.maxDelta && dd <= d.maxDelta {
+			s.delta = dd
+			s.conf = true
+			s.last = line
+			return d.ahead(s, staged)
+		}
+	}
+	// No stream matched: start (or steal) an engine.
+	victim := 0
+	for i := range d.streams {
+		if !d.streams[i].valid {
+			victim = i
+			break
+		}
+		if d.streams[i].hits < d.streams[victim].hits {
+			victim = i
+		}
+	}
+	d.streams[victim] = stream{last: line, valid: true}
+	return nil
+}
+
+func (d *StreamDetector) ahead(s *stream, staged func(uint64) bool) []uint64 {
+	d.want = d.want[:0]
+	for k := 1; k <= d.depth; k++ {
+		next := int64(s.last) + s.delta*int64(k)
+		if next < 0 {
+			break
+		}
+		if staged == nil || !staged(uint64(next)) {
+			d.want = append(d.want, uint64(next))
+		}
+	}
+	return d.want
+}
+
+// Reset clears every engine.
+func (d *StreamDetector) Reset() {
+	for i := range d.streams {
+		d.streams[i] = stream{}
+	}
+}
+
+// PrefetchConfig describes a prefetcher.
+type PrefetchConfig struct {
+	// NumStreams is the number of concurrent stream engines
+	// (Blue Gene/P has roughly a dozen per core).
+	NumStreams int
+	// BufferLines is the prefetch-buffer capacity in L3 lines.
+	BufferLines int
+	// Depth is how many lines ahead a confirmed stream prefetches.
+	Depth int
+}
+
+// DefaultPrefetchConfig mirrors the Blue Gene/P L2: 15 stream engines and a
+// 2 KB buffer of 128-byte lines, prefetching two lines ahead.
+func DefaultPrefetchConfig() PrefetchConfig {
+	return PrefetchConfig{NumStreams: 15, BufferLines: 16, Depth: 2}
+}
+
+// NewPrefetcher creates a prefetcher. A Depth of 0 disables prefetching
+// entirely (stream engines still track, but never issue), the knob behind
+// the prefetch-amount study the paper lists as future work.
+func NewPrefetcher(cfg PrefetchConfig) *Prefetcher {
+	if cfg.BufferLines <= 0 {
+		panic("cache: invalid prefetcher configuration")
+	}
+	return &Prefetcher{
+		det:    NewStreamDetector(cfg.NumStreams, DefaultMaxDelta, cfg.Depth),
+		buffer: make([]uint64, cfg.BufferLines),
+	}
+}
+
+// Access presents a demand line address (already shifted to line units) and
+// returns whether it hit in the prefetch buffer, plus the list of line
+// addresses the engines want prefetched. The caller must fill those lines
+// via Fill after fetching them from the lower levels. The returned slice is
+// reused by the next Access call.
+func (p *Prefetcher) Access(line uint64) (hit bool, want []uint64) {
+	key := line + 1
+	for i, b := range p.buffer {
+		if b == key {
+			p.buffer[i] = 0
+			p.Hits++
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		p.Misses++
+	}
+
+	want = p.det.Observe(line, p.contains)
+	p.Issued += uint64(len(want))
+	return hit, want
+}
+
+func (p *Prefetcher) contains(line uint64) bool {
+	key := line + 1
+	for _, b := range p.buffer {
+		if b == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs a prefetched line into the buffer, evicting the oldest
+// buffered line if the buffer is full.
+func (p *Prefetcher) Fill(line uint64) {
+	if p.contains(line) {
+		return
+	}
+	p.buffer[p.next] = line + 1
+	p.next = (p.next + 1) % len(p.buffer)
+}
+
+// Buffered returns the number of lines currently staged.
+func (p *Prefetcher) Buffered() int {
+	n := 0
+	for _, b := range p.buffer {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears all streams, the buffer, and the counters.
+func (p *Prefetcher) Reset() {
+	p.det.Reset()
+	for i := range p.buffer {
+		p.buffer[i] = 0
+	}
+	p.next = 0
+	p.Hits, p.Misses, p.Issued = 0, 0, 0
+}

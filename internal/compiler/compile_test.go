@@ -1,0 +1,266 @@
+package compiler
+
+import (
+	"testing"
+
+	"bgpsim/internal/isa"
+)
+
+// testKernel is a vectorizable FMA/add kernel over one 64 KB array.
+func testKernel() *Kernel {
+	return &Kernel{
+		Name:   "tk",
+		Arrays: []Array{{Name: "a", Bytes: 64 << 10}, {Name: "b", Bytes: 64 << 10}},
+		Phases: []Phase{{
+			Name: "main",
+			Loops: []LoopNest{{
+				Name:  "l0",
+				Trips: 10000,
+				Stmts: []Stmt{{
+					FMA:    2,
+					AddSub: 1,
+					Refs: []Ref{
+						{Array: 0, Pat: isa.Seq, Stride: 8},
+						{Array: 1, Pat: isa.Seq, Stride: 8, Store: true},
+					},
+					Vectorizable: true,
+				}},
+			}},
+		}},
+	}
+}
+
+func mixFor(t *testing.T, k *Kernel, opts Options) isa.Mix {
+	t.Helper()
+	p, err := Compile(k, "main", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.DynamicMix()
+}
+
+func TestBaselineUnfusesFMA(t *testing.T) {
+	m := mixFor(t, testKernel(), Options{Level: O0})
+	if m[isa.FPFMA] != 0 {
+		t.Errorf("baseline emitted %d FMA instructions", m[isa.FPFMA])
+	}
+	// 2 FMA chains per trip un-fuse into 2 muls + 2 adds, plus the
+	// authored add: 3 add-subs and 2 muls per trip.
+	if m[isa.FPAddSub] != 30000 || m[isa.FPMult] != 20000 {
+		t.Errorf("unfused mix: addsub=%d mult=%d, want 30000/20000", m[isa.FPAddSub], m[isa.FPMult])
+	}
+	if m.SIMDInstructions() != 0 {
+		t.Error("baseline emitted SIMD instructions")
+	}
+}
+
+func TestO3FusesFMA(t *testing.T) {
+	m := mixFor(t, testKernel(), Options{Level: O3})
+	if m[isa.FPFMA] != 20000 {
+		t.Errorf("FMA = %d, want 20000", m[isa.FPFMA])
+	}
+	if m[isa.FPMult] != 0 {
+		t.Errorf("fused build still has %d multiplies", m[isa.FPMult])
+	}
+}
+
+func TestFlopsPreservedAcrossLevels(t *testing.T) {
+	// Optimization must never change the semantics: the flop count is
+	// invariant across every build configuration.
+	k := testKernel()
+	want := mixFor(t, k, Options{Level: O0}).Flops()
+	for _, opts := range AllOptions() {
+		got := mixFor(t, k, opts).Flops()
+		// The SIMD split floors odd trip counts; allow a sliver.
+		diff := int64(got) - int64(want)
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.01*float64(want) {
+			t.Errorf("%v: flops = %d, want %d", opts, got, want)
+		}
+	}
+}
+
+func TestArch440dEmitsSIMDAndQuads(t *testing.T) {
+	m := mixFor(t, testKernel(), Options{Level: O5, Arch440d: true})
+	if m.SIMDShare() < 0.9 {
+		t.Errorf("O5+440d SIMD share = %.2f, want >0.9", m.SIMDShare())
+	}
+	if m[isa.QuadLoad] == 0 || m[isa.QuadStore] == 0 {
+		t.Errorf("no quad accesses: quadload=%d quadstore=%d", m[isa.QuadLoad], m[isa.QuadStore])
+	}
+	// Quad accesses halve the access count of vectorized refs.
+	scalar := mixFor(t, testKernel(), Options{Level: O5})
+	if m[isa.QuadLoad]+m[isa.Load] >= scalar[isa.Load] {
+		t.Errorf("load instruction count not reduced: %d+%d vs %d",
+			m[isa.QuadLoad], m[isa.Load], scalar[isa.Load])
+	}
+}
+
+func TestSIMDShareGrowsWithLevel(t *testing.T) {
+	prev := -1.0
+	for _, lv := range []Level{O3, O4, O5} {
+		m := mixFor(t, testKernel(), Options{Level: lv, Arch440d: true})
+		share := m.SIMDShare()
+		if share <= prev {
+			t.Errorf("%v: SIMD share %.3f not above previous %.3f", lv, share, prev)
+		}
+		prev = share
+	}
+}
+
+func TestArch440dInertBelowO3(t *testing.T) {
+	plain := mixFor(t, testKernel(), Options{Level: O0})
+	flagged := mixFor(t, testKernel(), Options{Level: O0, Arch440d: true})
+	if plain != flagged {
+		t.Error("-qarch=440d changed the baseline build")
+	}
+}
+
+func TestNonVectorizableKernelNeverSIMD(t *testing.T) {
+	k := testKernel()
+	k.Phases[0].Loops[0].Stmts[0].Vectorizable = false
+	m := mixFor(t, k, Options{Level: O5, Arch440d: true})
+	if m.SIMDInstructions() != 0 {
+		t.Errorf("non-vectorizable stmt produced %d SIMD instructions", m.SIMDInstructions())
+	}
+}
+
+func TestRandomRefsNeverCoalesce(t *testing.T) {
+	k := testKernel()
+	k.Phases[0].Loops[0].Stmts[0].Refs[0].Pat = isa.Random
+	k.Phases[0].Loops[0].Stmts[0].Refs[0].Stride = 0
+	m := mixFor(t, k, Options{Level: O5, Arch440d: true})
+	if m[isa.QuadLoad] != 0 {
+		t.Errorf("gather coalesced into %d quad loads", m[isa.QuadLoad])
+	}
+	if m[isa.Load] == 0 {
+		t.Error("gather loads disappeared")
+	}
+}
+
+func TestLoopOverheadShrinksWithLevel(t *testing.T) {
+	branches := func(lv Level) uint64 {
+		return mixFor(t, testKernel(), Options{Level: lv})[isa.Branch]
+	}
+	if !(branches(O0) > branches(O3) && branches(O3) > branches(O4)) {
+		t.Errorf("branch counts not decreasing: O0=%d O3=%d O4=%d",
+			branches(O0), branches(O3), branches(O4))
+	}
+}
+
+func TestIntOverheadShrinksWithLevel(t *testing.T) {
+	ints := func(lv Level) uint64 {
+		return mixFor(t, testKernel(), Options{Level: lv})[isa.IntALU]
+	}
+	if !(ints(O0) > ints(O3) && ints(O3) > ints(O5)) {
+		t.Errorf("int counts not decreasing: O0=%d O3=%d O5=%d", ints(O0), ints(O3), ints(O5))
+	}
+}
+
+func TestTotalInstructionsShrinkWithOptimization(t *testing.T) {
+	k := testKernel()
+	base := mixFor(t, k, Options{Level: O0}).Total()
+	best := mixFor(t, k, Options{Level: O5, Arch440d: true}).Total()
+	if float64(best) > 0.7*float64(base) {
+		t.Errorf("O5+440d total %d not well below baseline %d", best, base)
+	}
+}
+
+func TestCompileUnknownPhase(t *testing.T) {
+	if _, err := Compile(testKernel(), "nope", Options{}); err == nil {
+		t.Error("unknown phase accepted")
+	}
+}
+
+func TestCompileInvalidKernel(t *testing.T) {
+	k := testKernel()
+	k.Phases[0].Loops[0].Stmts[0].Refs[0].Array = 99
+	if _, err := Compile(k, "main", Options{}); err == nil {
+		t.Error("invalid kernel accepted")
+	}
+}
+
+func TestValidateCatchesBadIR(t *testing.T) {
+	bad := []*Kernel{
+		{Name: "neg-trips", Phases: []Phase{{Name: "p", Loops: []LoopNest{{Trips: -1}}}}},
+		{Name: "neg-ops", Phases: []Phase{{Name: "p", Loops: []LoopNest{{Trips: 1,
+			Stmts: []Stmt{{FMA: -1}}}}}}},
+		{Name: "no-pattern", Arrays: []Array{{Name: "a", Bytes: 8}},
+			Phases: []Phase{{Name: "p", Loops: []LoopNest{{Trips: 1,
+				Stmts: []Stmt{{Refs: []Ref{{Array: 0}}}}}}}}},
+		{Name: "zero-stride", Arrays: []Array{{Name: "a", Bytes: 8}},
+			Phases: []Phase{{Name: "p", Loops: []LoopNest{{Trips: 1,
+				Stmts: []Stmt{{Refs: []Ref{{Array: 0, Pat: isa.Seq}}}}}}}}},
+	}
+	for _, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Errorf("kernel %q: want error", k.Name)
+		}
+	}
+}
+
+func TestParseOptions(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Options
+	}{
+		{"O0", Options{O0, false}},
+		{"-O -qstrict", Options{O0, false}},
+		{"O3", Options{O3, false}},
+		{"-O5 -qarch=440d", Options{O5, true}},
+		{"O4+440d", Options{O4, true}},
+		{"o5", Options{O5, false}},
+	}
+	for _, tc := range cases {
+		got, err := ParseOptions(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseOptions(%q) = %+v, %v; want %+v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseOptions("O7"); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestOptionsRoundTripThroughString(t *testing.T) {
+	for _, opts := range AllOptions() {
+		if opts.Level == O0 && opts.Arch440d {
+			continue // spelling normalizes the inert flag away
+		}
+		back, err := ParseOptions(opts.String())
+		if err != nil || back != opts {
+			t.Errorf("round trip %v → %q → %v (%v)", opts, opts.String(), back, err)
+		}
+	}
+}
+
+func TestKernelFootprint(t *testing.T) {
+	if got := testKernel().FootprintBytes(); got != 128<<10 {
+		t.Errorf("footprint = %d, want 128KB", got)
+	}
+}
+
+func TestMustCompilePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic")
+		}
+	}()
+	MustCompile(testKernel(), "nope", Options{})
+}
+
+func TestCompiledProgramsShareRegionLayout(t *testing.T) {
+	k := testKernel()
+	a, _ := Compile(k, "main", Options{Level: O0})
+	b, _ := Compile(k, "main", Options{Level: O5, Arch440d: true})
+	if len(a.Regions) != len(b.Regions) {
+		t.Fatal("region counts differ across builds")
+	}
+	for i := range a.Regions {
+		if a.Regions[i] != b.Regions[i] {
+			t.Errorf("region %d differs: %+v vs %+v", i, a.Regions[i], b.Regions[i])
+		}
+	}
+}

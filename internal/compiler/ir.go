@@ -1,0 +1,139 @@
+// Package compiler models the IBM XL compiler's effect on the dynamic
+// instruction stream of a kernel. Benchmarks are authored once, in a small
+// loop-nest intermediate representation, and lowered to virtual-ISA
+// programs under a chosen optimization level — reproducing how -O/-qstrict,
+// -O3, -O4 and -O5, with and without -qarch=440d, change the instruction
+// mix (FMA fusion, SIMD-ization, quad load/store coalescing, loop overhead
+// and address-arithmetic elimination) that the paper measures through the
+// FPU counters in §V–VI.
+package compiler
+
+import (
+	"fmt"
+
+	"bgpsim/internal/isa"
+)
+
+// ArrayID names an array of a kernel.
+type ArrayID int
+
+// Array is one data array of a kernel. Arrays become the memory regions of
+// every lowered program, so their sizes are the kernel's cache footprint.
+type Array struct {
+	// Name labels the array ("u", "r", "twiddle").
+	Name string
+	// Bytes is the array extent.
+	Bytes uint64
+}
+
+// Ref is one memory reference of a statement, executed once per loop trip.
+type Ref struct {
+	// Array is the referenced array.
+	Array ArrayID
+	// Pat is the access pattern.
+	Pat isa.Pattern
+	// Stride is the per-trip advance for Seq/Strided patterns.
+	Stride int64
+	// Store marks a write.
+	Store bool
+}
+
+// Stmt is one statement of a loop body, authored in semantic form: FMA
+// counts chained multiply-adds (which un-fuse into separate multiplies and
+// adds below -O3), and Vectorizable marks data-parallel statements the
+// -qarch=440d SIMD pass may pair onto the double-hummer FPU.
+type Stmt struct {
+	// AddSub, Mul and Div are FP operations that remain separate at
+	// every level.
+	AddSub, Mul, Div int
+	// FMA counts multiply-add chains: one FMA instruction at -O3 and
+	// above, one multiply plus one add below.
+	FMA int
+	// Int is semantic integer work (key comparisons, index computation)
+	// that no optimization level can remove; address arithmetic is
+	// charged separately by the lowering pass.
+	Int int
+	// Refs are the memory references of the statement per trip.
+	Refs []Ref
+	// Vectorizable marks the statement data-parallel.
+	Vectorizable bool
+}
+
+// LoopNest is a counted loop of statements; Trips is the flattened dynamic
+// iteration count.
+type LoopNest struct {
+	// Name labels the loop.
+	Name string
+	// Trips is the dynamic trip count.
+	Trips int64
+	// Stmts is the loop body.
+	Stmts []Stmt
+}
+
+// Phase is a named compute phase of a kernel — the unit a benchmark
+// executes between communication calls.
+type Phase struct {
+	// Name labels the phase ("resid", "fft-x").
+	Name string
+	// Loops is the phase body.
+	Loops []LoopNest
+}
+
+// Kernel is the authored form of a benchmark's compute code.
+type Kernel struct {
+	// Name is the benchmark name.
+	Name string
+	// Arrays is the data footprint.
+	Arrays []Array
+	// Phases are the compute phases, compiled independently.
+	Phases []Phase
+}
+
+// PhaseByName returns the named phase or nil.
+func (k *Kernel) PhaseByName(name string) *Phase {
+	for i := range k.Phases {
+		if k.Phases[i].Name == name {
+			return &k.Phases[i]
+		}
+	}
+	return nil
+}
+
+// FootprintBytes returns the total array footprint of the kernel.
+func (k *Kernel) FootprintBytes() uint64 {
+	var n uint64
+	for _, a := range k.Arrays {
+		n += a.Bytes
+	}
+	return n
+}
+
+// Validate checks that every reference names a valid array.
+func (k *Kernel) Validate() error {
+	for _, ph := range k.Phases {
+		for _, l := range ph.Loops {
+			if l.Trips < 0 {
+				return fmt.Errorf("compiler: kernel %q loop %q: negative trips", k.Name, l.Name)
+			}
+			for si, s := range l.Stmts {
+				if s.AddSub < 0 || s.Mul < 0 || s.Div < 0 || s.FMA < 0 {
+					return fmt.Errorf("compiler: kernel %q loop %q stmt %d: negative op count", k.Name, l.Name, si)
+				}
+				for _, ref := range s.Refs {
+					if int(ref.Array) < 0 || int(ref.Array) >= len(k.Arrays) {
+						return fmt.Errorf("compiler: kernel %q loop %q stmt %d: array %d out of range",
+							k.Name, l.Name, si, ref.Array)
+					}
+					if ref.Pat == isa.None {
+						return fmt.Errorf("compiler: kernel %q loop %q stmt %d: reference without pattern",
+							k.Name, l.Name, si)
+					}
+					if (ref.Pat == isa.Seq || ref.Pat == isa.Strided) && ref.Stride == 0 {
+						return fmt.Errorf("compiler: kernel %q loop %q stmt %d: zero stride", k.Name, l.Name, si)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

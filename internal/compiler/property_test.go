@@ -1,0 +1,201 @@
+package compiler
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"bgpsim/internal/isa"
+)
+
+// randomKernel generates structurally valid kernels for property testing.
+type randomKernel struct {
+	k *Kernel
+}
+
+func (randomKernel) Generate(r *rand.Rand, size int) reflect.Value {
+	k := &Kernel{Name: "rk"}
+	nArrays := 1 + r.Intn(4)
+	for a := 0; a < nArrays; a++ {
+		k.Arrays = append(k.Arrays, Array{
+			Name:  string(rune('a' + a)),
+			Bytes: uint64(1+r.Intn(64)) * 1024,
+		})
+	}
+	nPhases := 1 + r.Intn(3)
+	for p := 0; p < nPhases; p++ {
+		ph := Phase{Name: string(rune('p' + p))}
+		nLoops := 1 + r.Intn(3)
+		for l := 0; l < nLoops; l++ {
+			loop := LoopNest{
+				Name:  "l",
+				Trips: int64(r.Intn(5000)),
+			}
+			nStmts := 1 + r.Intn(3)
+			for s := 0; s < nStmts; s++ {
+				st := Stmt{
+					AddSub:       r.Intn(6),
+					Mul:          r.Intn(4),
+					Div:          r.Intn(2),
+					FMA:          r.Intn(8),
+					Int:          r.Intn(3),
+					Vectorizable: r.Intn(2) == 0,
+				}
+				nRefs := r.Intn(4)
+				for f := 0; f < nRefs; f++ {
+					ref := Ref{
+						Array: ArrayID(r.Intn(nArrays)),
+						Store: r.Intn(3) == 0,
+					}
+					switch r.Intn(3) {
+					case 0:
+						ref.Pat, ref.Stride = isa.Seq, int64(8*(1+r.Intn(4)))
+					case 1:
+						ref.Pat, ref.Stride = isa.Strided, int64(256*(1+r.Intn(8)))
+					default:
+						ref.Pat = isa.Random
+					}
+					st.Refs = append(st.Refs, ref)
+				}
+				loop.Stmts = append(loop.Stmts, st)
+			}
+			ph.Loops = append(ph.Loops, loop)
+		}
+		k.Phases = append(k.Phases, ph)
+	}
+	return reflect.ValueOf(randomKernel{k})
+}
+
+// Property: every build of every valid kernel lowers to a valid program.
+func TestPropertyLoweredProgramsValid(t *testing.T) {
+	f := func(rk randomKernel) bool {
+		for _, ph := range rk.k.Phases {
+			for _, opts := range AllOptions() {
+				p, err := Compile(rk.k, ph.Name, opts)
+				if err != nil {
+					return false
+				}
+				if p.Validate() != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: optimization never changes the semantics — the flop count is
+// invariant (within the odd-trip slivers of the SIMD split) across every
+// build configuration.
+func TestPropertyFlopsInvariant(t *testing.T) {
+	f := func(rk randomKernel) bool {
+		for _, ph := range rk.k.Phases {
+			base, err := Compile(rk.k, ph.Name, Options{Level: O0})
+			if err != nil {
+				return false
+			}
+			bm := base.DynamicMix()
+			want := bm.Flops()
+			for _, opts := range AllOptions() {
+				p, err := Compile(rk.k, ph.Name, opts)
+				if err != nil {
+					return false
+				}
+				pm := p.DynamicMix()
+				got := pm.Flops()
+				diff := int64(got) - int64(want)
+				if diff < 0 {
+					diff = -diff
+				}
+				// Tolerance: one trip of slack per loop for the
+				// vectorized/scalar split rounding.
+				var slack uint64
+				for _, l := range rk.k.PhaseByName(ph.Name).Loops {
+					perTrip := uint64(0)
+					for _, s := range l.Stmts {
+						perTrip += uint64(s.AddSub + s.Mul + s.Div + 2*s.FMA)
+					}
+					slack += 2 * perTrip
+				}
+				if uint64(diff) > slack {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total dynamic instructions never increase with the
+// optimization level (the whole point of optimizing).
+func TestPropertyInstructionCountMonotone(t *testing.T) {
+	f := func(rk randomKernel) bool {
+		for _, ph := range rk.k.Phases {
+			var prev uint64
+			for i, opts := range []Options{{Level: O0}, {Level: O3}, {Level: O4}, {Level: O5}} {
+				p, err := Compile(rk.k, ph.Name, opts)
+				if err != nil {
+					return false
+				}
+				pm := p.DynamicMix()
+				total := pm.Total()
+				if i > 0 && total > prev {
+					return false
+				}
+				prev = total
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: memory traffic in bytes touched per source iteration is
+// preserved by quad coalescing (two 8-byte loads become one 16-byte quad).
+func TestPropertyAccessBytesPreserved(t *testing.T) {
+	f := func(rk randomKernel) bool {
+		for _, ph := range rk.k.Phases {
+			base, err := Compile(rk.k, ph.Name, Options{Level: O3})
+			if err != nil {
+				return false
+			}
+			simd, err := Compile(rk.k, ph.Name, Options{Level: O3, Arch440d: true})
+			if err != nil {
+				return false
+			}
+			want := accessBytes(base)
+			got := accessBytes(simd)
+			diff := int64(got) - int64(want)
+			if diff < 0 {
+				diff = -diff
+			}
+			// Slack: the odd-trip sliver per loop.
+			if uint64(diff) > want/10+4096 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func accessBytes(p *isa.Program) uint64 {
+	var n uint64
+	for _, l := range p.Loops {
+		for _, op := range l.Body {
+			n += uint64(op.Class.AccessBytes()) * uint64(l.Trips)
+		}
+	}
+	return n
+}

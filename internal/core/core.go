@@ -1,0 +1,378 @@
+// Package core models one PowerPC 450 processor core of a Blue Gene/P
+// compute node: a 2-way superscalar in-order core with an attached
+// dual-pipeline SIMD floating-point unit ("double hummer"), a private 32 KB
+// L1 data cache and a private stream-prefetching L2 front end.
+//
+// The core executes virtual-ISA op streams (see the isa package), charging
+// cycles from a simple but faithful issue model — one FPU instruction and
+// one load/store or integer instruction can issue per cycle, divides
+// occupy the FPU pipe — plus memory stalls observed from the cache
+// hierarchy. Every dynamic op increments the per-class counters that the
+// node wires into the Universal Performance Counter unit.
+package core
+
+import (
+	"fmt"
+
+	"bgpsim/internal/cache"
+	"bgpsim/internal/isa"
+	"bgpsim/internal/rng"
+)
+
+// LineBytes is the L2/L3/DDR line size; all traffic below L1 moves in
+// lines of this size.
+const LineBytes = 128
+
+const lineShift = 7
+
+// ClockHz is the PPC450 core frequency (850 MHz).
+const ClockHz = 850e6
+
+// Lower is the shared memory system below the core's private L1/L2 — the
+// node's L3 and DDR controllers. It is implemented by the node package.
+type Lower interface {
+	// ReadLine fetches a 128-byte line on a demand miss of core id and
+	// returns the stall cycles the core observes.
+	ReadLine(coreID int, addr uint64) uint64
+	// WriteLine delivers a dirty L1 victim line; the write is posted, so
+	// only queue-admission stall is returned.
+	WriteLine(coreID int, addr uint64) uint64
+	// PrefetchLine fetches a line on behalf of the core's L2 stream
+	// prefetcher. The core does not stall; traffic is still counted.
+	PrefetchLine(coreID int, addr uint64)
+}
+
+// Params holds the core timing and private-cache configuration.
+type Params struct {
+	// L1 is the L1 data-cache geometry.
+	L1 cache.Config
+	// Prefetch is the L2 stream-prefetcher configuration.
+	Prefetch cache.PrefetchConfig
+	// L2HitLatency is the stall for a demand miss satisfied by the
+	// prefetch buffer.
+	L2HitLatency uint64
+	// DivOccupancy is the extra FPU-pipe occupancy of a divide.
+	DivOccupancy uint64
+	// BranchOverhead is the extra issue cost per branch.
+	BranchOverhead uint64
+}
+
+// DefaultParams returns PPC450-like parameters: 32 KB 16-way L1 with
+// 128-byte lines, a 15-stream 2 KB prefetch buffer, 12-cycle L2 hits and
+// ~25-cycle divides.
+func DefaultParams() Params {
+	return Params{
+		L1: cache.Config{
+			Name:        "L1D",
+			SizeBytes:   32 << 10,
+			LineBytes:   LineBytes,
+			Ways:        16,
+			WriteBack:   true,
+			Replacement: cache.ReplaceRoundRobin, // PPC450 L1 policy
+		},
+		Prefetch:       cache.DefaultPrefetchConfig(),
+		L2HitLatency:   12,
+		DivOccupancy:   25,
+		BranchOverhead: 1,
+	}
+}
+
+// Core is one simulated processor core.
+type Core struct {
+	id     int
+	params Params
+	lower  Lower
+
+	// L1 is the private L1 data cache.
+	L1 *cache.Cache
+	// L2 is the private stream prefetcher.
+	L2 *cache.Prefetcher
+	// Snoop is the core's snoop filter, probed by the node on remote
+	// writes.
+	Snoop *cache.SnoopFilter
+
+	// Mix holds the free-running per-class dynamic op counters.
+	Mix isa.Mix
+	// Cycles is the free-running cycle counter; it doubles as the
+	// chip's Time Base register for this core.
+	Cycles uint64
+}
+
+// New creates core id above the given memory system.
+func New(id int, params Params, lower Lower) *Core {
+	if lower == nil {
+		panic("core: nil lower memory system")
+	}
+	params.L1.Name = fmt.Sprintf("L1D.%d", id)
+	return &Core{
+		id:     id,
+		params: params,
+		lower:  lower,
+		L1:     cache.New(params.L1),
+		L2:     cache.NewPrefetcher(params.Prefetch),
+		Snoop:  cache.NewSnoopFilter(cache.SnoopFilterEntries),
+	}
+}
+
+// ID returns the core index on its node.
+func (c *Core) ID() int { return c.id }
+
+// TimeBase returns the current cycle count (the Time Base register).
+func (c *Core) TimeBase() uint64 { return c.Cycles }
+
+// AdvanceCycles charges n cycles of non-ISA work (system services, the
+// counter-interface library's own overhead).
+func (c *Core) AdvanceCycles(n uint64) { c.Cycles += n }
+
+// WaitUntil advances the core's clock to at least cycle, modelling time
+// spent blocked (e.g. waiting for a message).
+func (c *Core) WaitUntil(cycle uint64) {
+	if cycle > c.Cycles {
+		c.Cycles = cycle
+	}
+}
+
+// ExecState is the resumable execution cursor of a program bound to a
+// rank's address space. The machine scheduler advances ranks in bounded
+// time slices, so execution must be interruptible between loop trips.
+type ExecState struct {
+	prog       *isa.Program
+	regionBase []uint64
+	rng        *rng.Source
+
+	// shard/nshards select the slice of every loop's trips this state
+	// executes — the mechanism behind OpenMP-style loop-parallel
+	// execution across a node's cores (1/1 for a whole program).
+	shard, nshards int64
+
+	loop    int
+	trip    int64
+	tripEnd int64
+	cursors []int64 // per-op region offsets of the current loop
+
+	issue   uint64 // precomputed issue cycles per trip of current loop
+	prepped bool
+	done    bool
+}
+
+// Done reports whether the program has run to completion.
+func (s *ExecState) Done() bool { return s.done }
+
+// Rewind resets the execution cursor so the program can run again in the
+// same address bindings (iterative benchmarks re-execute their phases; the
+// arrays must stay where they are so caches remain warm).
+func (s *ExecState) Rewind() {
+	s.loop, s.trip = 0, 0
+	s.prepped = false
+	s.done = len(s.prog.Loops) == 0
+}
+
+// shardRange returns the trip interval [start, end) of the state's shard.
+func (s *ExecState) shardRange(trips int64) (start, end int64) {
+	return trips * s.shard / s.nshards, trips * (s.shard + 1) / s.nshards
+}
+
+// Program returns the bound program.
+func (s *ExecState) Program() *isa.Program { return s.prog }
+
+// Bind lays the program's regions out in a rank's address space starting at
+// base (aligned up to a line boundary) and returns a fresh execution cursor.
+// The seed determines the random-access streams.
+func Bind(p *isa.Program, base uint64, seed uint64) (*ExecState, error) {
+	return BindShard(p, base, seed, 0, 1)
+}
+
+// BindShard binds the program like Bind but restricts execution to shard
+// (0 ≤ shard < nshards) of every loop's trip space: trips are divided into
+// contiguous chunks, with sequential address streams offset accordingly.
+// All shards of one program share the same region layout, so threads of a
+// parallel region operate on the same arrays.
+func BindShard(p *isa.Program, base, seed uint64, shard, nshards int) (*ExecState, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if nshards < 1 || shard < 0 || shard >= nshards {
+		return nil, fmt.Errorf("core: invalid shard %d of %d", shard, nshards)
+	}
+	st := &ExecState{
+		prog:       p,
+		regionBase: make([]uint64, len(p.Regions)),
+		rng:        rng.New(seed).Derive(uint64(shard)),
+		shard:      int64(shard),
+		nshards:    int64(nshards),
+	}
+	addr := (base + LineBytes - 1) &^ (LineBytes - 1)
+	for i, r := range p.Regions {
+		st.regionBase[i] = addr
+		addr += (r.Size + LineBytes - 1) &^ (LineBytes - 1)
+	}
+	if len(p.Loops) == 0 {
+		st.done = true
+	}
+	return st, nil
+}
+
+// FootprintBytes returns the total bytes of the program's regions.
+func FootprintBytes(p *isa.Program) uint64 {
+	var n uint64
+	for _, r := range p.Regions {
+		n += (r.Size + LineBytes - 1) &^ (LineBytes - 1)
+	}
+	return n
+}
+
+// Exec advances the bound program on this core until it completes or the
+// core's cycle counter reaches limit (limit 0 means run to completion).
+// It reports whether the program completed.
+func (c *Core) Exec(st *ExecState, limit uint64) bool {
+	if st.done {
+		return true
+	}
+	p := st.prog
+	for st.loop < len(p.Loops) {
+		l := &p.Loops[st.loop]
+		if !st.prepped {
+			c.prepLoop(st, l)
+		}
+		for st.trip < st.tripEnd {
+			if limit > 0 && c.Cycles >= limit {
+				return false
+			}
+			c.Cycles += st.issue
+			for oi := range l.Body {
+				op := &l.Body[oi]
+				c.Mix[op.Class]++
+				if op.Class.IsMem() {
+					addr := st.nextAddr(oi, op)
+					c.Cycles += c.access(addr, op.Class.IsStore())
+				}
+			}
+			st.trip++
+		}
+		st.loop++
+		st.trip = 0
+		st.prepped = false
+	}
+	st.done = true
+	return true
+}
+
+// prepLoop precomputes the per-trip issue cost of a loop and resets the
+// per-op address cursors.
+func (c *Core) prepLoop(st *ExecState, l *isa.Loop) {
+	var fp, mem, other, div, branch int
+	for _, op := range l.Body {
+		switch {
+		case op.Class.IsFP():
+			fp++
+			if op.Class == isa.FPDiv || op.Class == isa.FPSIMDDiv {
+				div++
+			}
+		case op.Class.IsMem():
+			mem++
+		case op.Class == isa.Branch:
+			other++
+			branch++
+		default:
+			other++
+		}
+	}
+	total := fp + mem + other
+	issue := (total + 1) / 2 // 2-way issue upper bound
+	if fp > issue {
+		issue = fp // one FPU instruction per cycle
+	}
+	if mem > issue {
+		issue = mem // one load/store per cycle
+	}
+	st.issue = uint64(issue) +
+		uint64(div)*c.params.DivOccupancy +
+		uint64(branch)*c.params.BranchOverhead
+	start, end := st.shardRange(l.Trips)
+	st.trip, st.tripEnd = start, end
+	if cap(st.cursors) < len(l.Body) {
+		st.cursors = make([]int64, len(l.Body))
+	} else {
+		st.cursors = st.cursors[:len(l.Body)]
+	}
+	for i, op := range l.Body {
+		st.cursors[i] = 0
+		if !op.Class.IsMem() {
+			continue
+		}
+		// Sequential streams of a shard start where the preceding
+		// shards' trips would have advanced the cursor.
+		off := op.Offset
+		if op.Pat == isa.Seq || op.Pat == isa.Strided {
+			off += start * op.Stride
+		}
+		if off != 0 {
+			size := int64(st.prog.Regions[op.Region].Size)
+			if size > 0 {
+				off %= size
+				if off < 0 {
+					off += size
+				}
+				st.cursors[i] = off
+			}
+		}
+	}
+	st.prepped = true
+}
+
+// nextAddr produces the address of op oi's next dynamic instance.
+func (s *ExecState) nextAddr(oi int, op *isa.Op) uint64 {
+	base := s.regionBase[op.Region]
+	size := int64(s.prog.Regions[op.Region].Size)
+	if size <= 0 {
+		return base
+	}
+	switch op.Pat {
+	case isa.Random:
+		off := int64(s.rng.Uint64n(uint64(size))) &^ 7
+		return base + uint64(off)
+	default: // Seq, Strided
+		off := s.cursors[oi]
+		next := off + op.Stride
+		next %= size
+		if next < 0 {
+			next += size
+		}
+		s.cursors[oi] = next
+		return base + uint64(off)
+	}
+}
+
+// access performs one data access, returning the stall cycles beyond issue.
+func (c *Core) access(addr uint64, write bool) uint64 {
+	r := c.L1.Access(addr, write)
+	if r.Hit {
+		return 0
+	}
+	c.Snoop.Track(addr, lineShift)
+	var stall uint64
+	if r.VictimValid && r.VictimDirty {
+		stall += c.lower.WriteLine(c.id, r.Victim)
+	}
+	line := addr >> lineShift
+	hit, want := c.L2.Access(line)
+	if hit {
+		stall += c.params.L2HitLatency
+	} else {
+		stall += c.lower.ReadLine(c.id, addr&^(LineBytes-1))
+	}
+	for _, w := range want {
+		c.lower.PrefetchLine(c.id, w<<lineShift)
+		c.L2.Fill(w)
+	}
+	return stall
+}
+
+// Reset clears the core's counters and private cache state.
+func (c *Core) Reset() {
+	c.Mix = isa.Mix{}
+	c.Cycles = 0
+	c.L1.Reset()
+	c.L2.Reset()
+	c.Snoop.Reset()
+}

@@ -1,0 +1,329 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V–VIII) from the simulator: the dynamic FP instruction
+// profile (Figure 6), the SIMD-instruction and execution-time compiler
+// studies (Figures 7–10), the L3-size sweep (Figure 11), and the
+// virtual-node-mode versus SMP comparisons (Figures 12–14). The command
+// line tools, the benchmark harness (bench_test.go) and the shape-assertion
+// tests all drive this package, so the numbers they report are produced by
+// one code path.
+package experiments
+
+import (
+	"fmt"
+
+	"bgpsim/internal/compiler"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/nas"
+	"bgpsim/internal/postproc"
+
+	bgp "bgpsim"
+)
+
+// Scale selects how close to the paper's full configuration an experiment
+// runs. Full matches the paper (class C, 128 processes); Quick shrinks the
+// problem for fast iteration while preserving every shape.
+type Scale struct {
+	// Class is the NAS problem class.
+	Class nas.Class
+	// Ranks is the process count (SP/BT round down to a square).
+	Ranks int
+}
+
+// FullScale is the paper's configuration: class C with 128 processes
+// (121 for SP and BT) on 32 nodes in virtual-node mode.
+func FullScale() Scale { return Scale{Class: nas.ClassC, Ranks: 128} }
+
+// MidScale runs class B with 32 processes: because the suite divides a
+// fixed problem over the ranks, this keeps every per-rank footprint and
+// per-node cache pressure identical to the paper's class C / 128-process
+// regime at a quarter of the cost. Shapes measured here match FullScale.
+func MidScale() Scale { return Scale{Class: nas.ClassB, Ranks: 32} }
+
+// QuickScale is a reduced configuration for tests and fast runs.
+func QuickScale() Scale { return Scale{Class: nas.ClassW, Ranks: 16} }
+
+// BestBuild is the build the characterization figures use: the most
+// effective configuration the compiler study identifies.
+func BestBuild() compiler.Options {
+	return compiler.Options{Level: compiler.O5, Arch440d: true}
+}
+
+// SuiteNames returns the benchmarks in the paper's presentation order.
+func SuiteNames() []string {
+	return []string{"mg", "ft", "ep", "cg", "is", "lu", "sp", "bt"}
+}
+
+// ProfileRow is one benchmark's dynamic FP instruction profile: the
+// fraction of dynamic FP instructions per class (Figure 6).
+type ProfileRow struct {
+	// Benchmark is the benchmark name.
+	Benchmark string
+	// Fractions maps the eight FP class mnemonics to their share of FP
+	// instructions.
+	Fractions map[string]float64
+	// Metrics is the run the row was computed from.
+	Metrics *postproc.Metrics
+}
+
+// Fig6Profile reproduces Figure 6: the dynamic floating-point instruction
+// profile of the suite under the best build in virtual-node mode.
+func Fig6Profile(s Scale) ([]ProfileRow, error) {
+	rows := make([]ProfileRow, 0, len(SuiteNames()))
+	for _, name := range SuiteNames() {
+		res, err := bgp.Run(bgp.RunConfig{
+			Benchmark: name,
+			Class:     s.Class,
+			Ranks:     s.Ranks,
+			Mode:      machine.VNM,
+			Opts:      BestBuild(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s: %w", name, err)
+		}
+		row := ProfileRow{
+			Benchmark: name,
+			Fractions: make(map[string]float64, len(postproc.FPClassEvents)),
+			Metrics:   res.Metrics,
+		}
+		var total float64
+		for _, ev := range postproc.FPClassEvents {
+			total += res.Metrics.FPMix[ev]
+		}
+		for _, ev := range postproc.FPClassEvents {
+			if total > 0 {
+				row.Fractions[ev] = res.Metrics.FPMix[ev] / total
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CompilerPoint is one build configuration's outcome for one benchmark.
+type CompilerPoint struct {
+	// Opts is the build.
+	Opts compiler.Options
+	// SIMDInstructions is the estimated machine-wide dynamic SIMD
+	// FP instruction count (Figures 7-8 plot this).
+	SIMDInstructions float64
+	// SIMDShare is the SIMD fraction of FP instructions.
+	SIMDShare float64
+	// ExecCycles is the execution time in cycles (Figures 9-10).
+	ExecCycles uint64
+	// MFLOPS is the achieved rate.
+	MFLOPS float64
+}
+
+// CompilerConfigs returns the build configurations of the compiler study in
+// presentation order: the -O -qstrict baseline, then -O3/-O4/-O5 plain and
+// with -qarch=440d.
+func CompilerConfigs() []compiler.Options {
+	return []compiler.Options{
+		{Level: compiler.O0},
+		{Level: compiler.O3}, {Level: compiler.O3, Arch440d: true},
+		{Level: compiler.O4}, {Level: compiler.O4, Arch440d: true},
+		{Level: compiler.O5}, {Level: compiler.O5, Arch440d: true},
+	}
+}
+
+// CompilerSweep runs one benchmark across the compiler study's builds
+// (Figures 7-10 are slices of its output).
+func CompilerSweep(benchmark string, s Scale) ([]CompilerPoint, error) {
+	points := make([]CompilerPoint, 0, len(CompilerConfigs()))
+	for _, opts := range CompilerConfigs() {
+		res, err := bgp.Run(bgp.RunConfig{
+			Benchmark: benchmark,
+			Class:     s.Class,
+			Ranks:     s.Ranks,
+			Mode:      machine.VNM,
+			Opts:      opts,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("compiler sweep %s %v: %w", benchmark, opts, err)
+		}
+		var simd float64
+		for _, ev := range []string{
+			"BGP_NODE_FPU_SIMD_ADD_SUB", "BGP_NODE_FPU_SIMD_MULT",
+			"BGP_NODE_FPU_SIMD_DIV", "BGP_NODE_FPU_SIMD_FMA",
+		} {
+			simd += res.Metrics.FPMix[ev]
+		}
+		points = append(points, CompilerPoint{
+			Opts:             opts,
+			SIMDInstructions: simd,
+			SIMDShare:        res.Metrics.SIMDShare,
+			ExecCycles:       res.Metrics.ExecCycles,
+			MFLOPS:           res.Metrics.MFLOPS,
+		})
+	}
+	return points, nil
+}
+
+// ExecTimeRow is one benchmark's execution-time series across builds
+// (Figures 9-10).
+type ExecTimeRow struct {
+	// Benchmark is the benchmark name.
+	Benchmark string
+	// Points are the per-build outcomes in CompilerConfigs order.
+	Points []CompilerPoint
+}
+
+// Fig910ExecTimes reproduces Figures 9 and 10: execution time across
+// compiler builds for the named benchmarks (Figure 9 covers the first half
+// of the suite, Figure 10 the second).
+func Fig910ExecTimes(benchmarks []string, s Scale) ([]ExecTimeRow, error) {
+	rows := make([]ExecTimeRow, 0, len(benchmarks))
+	for _, name := range benchmarks {
+		pts, err := CompilerSweep(name, s)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ExecTimeRow{Benchmark: name, Points: pts})
+	}
+	return rows, nil
+}
+
+// L3Sizes returns the L3 sweep points of Figure 11 in bytes: 0 (no L3)
+// through 8 MB in 2 MB steps.
+func L3Sizes() []int {
+	return []int{0, 2 << 20, 4 << 20, 6 << 20, 8 << 20}
+}
+
+// L3Point is one benchmark × L3-size outcome of Figure 11.
+type L3Point struct {
+	// L3Bytes is the booted L3 capacity (0 = disabled).
+	L3Bytes int
+	// DDRTrafficBytes is the machine-wide L3–DDR traffic.
+	DDRTrafficBytes uint64
+	// MissFraction is the fraction of L3 references that missed
+	// (0 when the L3 is disabled).
+	MissFraction float64
+}
+
+// L3Row is one benchmark's Figure 11 series.
+type L3Row struct {
+	// Benchmark is the benchmark name.
+	Benchmark string
+	// Points are the per-size outcomes in L3Sizes order.
+	Points []L3Point
+}
+
+// Fig11L3Sweep reproduces Figure 11: DDR traffic as the L3 grows from 0 to
+// 8 MB. The paper boots one process per node (SMP/1) so the per-node
+// footprint is one rank's working set.
+func Fig11L3Sweep(benchmarks []string, s Scale) ([]L3Row, error) {
+	rows := make([]L3Row, 0, len(benchmarks))
+	for _, name := range benchmarks {
+		row := L3Row{Benchmark: name}
+		for _, l3 := range L3Sizes() {
+			cfg := bgp.RunConfig{
+				Benchmark: name,
+				Class:     s.Class,
+				Ranks:     s.Ranks,
+				Mode:      machine.SMP1,
+				Opts:      BestBuild(),
+			}
+			if l3 == 0 {
+				cfg.L3Bytes = -1
+			} else {
+				cfg.L3Bytes = l3
+			}
+			res, err := bgp.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %s L3=%d: %w", name, l3, err)
+			}
+			row.Points = append(row.Points, L3Point{
+				L3Bytes:         l3,
+				DDRTrafficBytes: res.Metrics.DDRTrafficBytes,
+				MissFraction:    res.Metrics.L3MissRate,
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ModeRow is one benchmark's virtual-node-mode versus SMP/1 comparison —
+// the data behind Figures 12, 13 and 14.
+type ModeRow struct {
+	// Benchmark is the benchmark name.
+	Benchmark string
+
+	// VNM and SMP are the two runs' metrics: the same process count on
+	// quarter the nodes (VNM) versus one process per node with the L3
+	// reduced to 2 MB for per-process fairness (the paper's §VIII
+	// svchost boot option).
+	VNM, SMP *postproc.Metrics
+
+	// TrafficRatio is per-node DDR traffic of VNM over SMP/1
+	// (Figure 12; ≈3× on average, >4× for FT and IS).
+	TrafficRatio float64
+	// SlowdownPct is the per-node execution-time increase of VNM over
+	// SMP/1 in percent (Figure 13; ≈30% on average).
+	SlowdownPct float64
+	// MFLOPSPerChipGain is delivered MFLOPS per chip of VNM over SMP/1
+	// (Figure 14; ≈2.5× on average).
+	MFLOPSPerChipGain float64
+}
+
+// SMPFairL3Bytes is the reduced L3 capacity the paper boots SMP/1 nodes
+// with for the Figures 12-14 comparison.
+const SMPFairL3Bytes = 2 << 20
+
+// Fig121314Modes reproduces the §VIII study: the suite run with the same
+// process count in virtual-node mode (ranks/4 nodes, full 8 MB L3) and in
+// SMP/1 mode (one rank per node, 2 MB L3).
+func Fig121314Modes(benchmarks []string, s Scale) ([]ModeRow, error) {
+	rows := make([]ModeRow, 0, len(benchmarks))
+	for _, name := range benchmarks {
+		vnm, err := bgp.Run(bgp.RunConfig{
+			Benchmark: name,
+			Class:     s.Class,
+			Ranks:     s.Ranks,
+			Mode:      machine.VNM,
+			Opts:      BestBuild(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig12-14 %s VNM: %w", name, err)
+		}
+		smp, err := bgp.Run(bgp.RunConfig{
+			Benchmark: name,
+			Class:     s.Class,
+			Ranks:     s.Ranks,
+			Mode:      machine.SMP1,
+			Opts:      BestBuild(),
+			L3Bytes:   SMPFairL3Bytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig12-14 %s SMP/1: %w", name, err)
+		}
+		row := ModeRow{Benchmark: name, VNM: vnm.Metrics, SMP: smp.Metrics}
+		vnmNodes := float64(vnm.Metrics.Nodes)
+		smpNodes := float64(smp.Metrics.Nodes)
+		if smp.Metrics.DDRTrafficBytes > 0 {
+			perNodeVNM := float64(vnm.Metrics.DDRTrafficBytes) / vnmNodes
+			perNodeSMP := float64(smp.Metrics.DDRTrafficBytes) / smpNodes
+			row.TrafficRatio = perNodeVNM / perNodeSMP
+		}
+		if smp.Metrics.ExecCycles > 0 {
+			row.SlowdownPct = 100 * (float64(vnm.Metrics.ExecCycles)/float64(smp.Metrics.ExecCycles) - 1)
+		}
+		if smp.Metrics.MFLOPSPerChip > 0 {
+			row.MFLOPSPerChipGain = vnm.Metrics.MFLOPSPerChip / smp.Metrics.MFLOPSPerChip
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Mean returns the arithmetic mean of a float series (0 for empty input).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}

@@ -1,0 +1,234 @@
+package experiments
+
+// Extensions beyond the paper's published figures: the studies §IX lists
+// as future work — varying the L2 prefetch amount, and hybrid OpenMP+MPI
+// execution on the multicore nodes — plus ablations of this reproduction's
+// own design choices.
+
+import (
+	"fmt"
+	"io"
+
+	bgp "bgpsim"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/postproc"
+)
+
+// PrefetchDepths returns the L2 stream-prefetch depths of the sweep:
+// disabled, then 1 to 8 lines ahead.
+func PrefetchDepths() []int { return []int{-1, 1, 2, 4, 8} }
+
+// PrefetchPoint is one benchmark × prefetch-depth outcome.
+type PrefetchPoint struct {
+	// Depth is the configured prefetch depth (-1 = disabled).
+	Depth int
+	// ExecCycles is the execution time.
+	ExecCycles uint64
+	// DDRTrafficBytes is the machine-wide DDR traffic (over-prefetching
+	// shows up here).
+	DDRTrafficBytes uint64
+	// L2HitFraction is the share of below-L1 demand accesses served by
+	// the prefetch buffer.
+	L2HitFraction float64
+}
+
+// PrefetchRow is one benchmark's prefetch-depth series.
+type PrefetchRow struct {
+	// Benchmark is the benchmark name.
+	Benchmark string
+	// Points are the per-depth outcomes in PrefetchDepths order.
+	Points []PrefetchPoint
+}
+
+// PrefetchSweep runs the §IX prefetch-amount study: benchmarks whose
+// demand streams the L2 engines can cover speed up with depth until the
+// prefetches start evicting each other.
+func PrefetchSweep(benchmarks []string, s Scale) ([]PrefetchRow, error) {
+	rows := make([]PrefetchRow, 0, len(benchmarks))
+	for _, name := range benchmarks {
+		row := PrefetchRow{Benchmark: name}
+		for _, depth := range PrefetchDepths() {
+			res, err := bgp.Run(bgp.RunConfig{
+				Benchmark:       name,
+				Class:           s.Class,
+				Ranks:           s.Ranks,
+				Mode:            machine.VNM,
+				Opts:            BestBuild(),
+				L2PrefetchDepth: depth,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("prefetch sweep %s depth=%d: %w", name, depth, err)
+			}
+			hits := res.Analysis.EstimatedTotal(0, "BGP_NODE_L2_PF_HIT")
+			misses := res.Analysis.EstimatedTotal(0, "BGP_NODE_L2_MISS")
+			var frac float64
+			if hits+misses > 0 {
+				frac = hits / (hits + misses)
+			}
+			row.Points = append(row.Points, PrefetchPoint{
+				Depth:           depth,
+				ExecCycles:      res.Metrics.ExecCycles,
+				DDRTrafficBytes: res.Metrics.DDRTrafficBytes,
+				L2HitFraction:   frac,
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderPrefetch prints the prefetch-depth study.
+func RenderPrefetch(w io.Writer, rows []PrefetchRow) {
+	fmt.Fprintln(w, "Extension: L2 prefetch-depth sweep (exec cycles, relative to depth 2)")
+	header := []string{"benchmark"}
+	if len(rows) > 0 {
+		for _, p := range rows[0].Points {
+			if p.Depth < 0 {
+				header = append(header, "off")
+			} else {
+				header = append(header, fmt.Sprintf("depth %d", p.Depth))
+			}
+		}
+	}
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		var base float64
+		for _, p := range r.Points {
+			if p.Depth == 2 {
+				base = float64(p.ExecCycles)
+			}
+		}
+		row := []string{r.Benchmark}
+		for _, p := range r.Points {
+			row = append(row, fmt.Sprintf("%.3g (%.2f)", float64(p.ExecCycles), float64(p.ExecCycles)/base))
+		}
+		table = append(table, row)
+	}
+	writeTable(w, header, table)
+}
+
+// L3PrefetchDepths returns the memory-side L3 prefetch depths of the sweep.
+func L3PrefetchDepths() []int { return []int{0, 2, 4, 8} }
+
+// L3PrefetchSweep runs the other half of the §IX prefetch study: the
+// memory-side L3 engine, which catches the wide-strided sweeps the
+// per-core L2 detectors cannot lock onto.
+func L3PrefetchSweep(benchmarks []string, s Scale) ([]PrefetchRow, error) {
+	rows := make([]PrefetchRow, 0, len(benchmarks))
+	for _, name := range benchmarks {
+		row := PrefetchRow{Benchmark: name}
+		for _, depth := range L3PrefetchDepths() {
+			res, err := bgp.Run(bgp.RunConfig{
+				Benchmark:       name,
+				Class:           s.Class,
+				Ranks:           s.Ranks,
+				Mode:            machine.VNM,
+				Opts:            BestBuild(),
+				L3PrefetchDepth: depth,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("l3 prefetch sweep %s depth=%d: %w", name, depth, err)
+			}
+			row.Points = append(row.Points, PrefetchPoint{
+				Depth:           depth,
+				ExecCycles:      res.Metrics.ExecCycles,
+				DDRTrafficBytes: res.Metrics.DDRTrafficBytes,
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderL3Prefetch prints the L3 prefetch-depth study.
+func RenderL3Prefetch(w io.Writer, rows []PrefetchRow) {
+	fmt.Fprintln(w, "Extension: memory-side L3 prefetch-depth sweep (exec cycles, relative to off)")
+	header := []string{"benchmark"}
+	if len(rows) > 0 {
+		for _, p := range rows[0].Points {
+			if p.Depth == 0 {
+				header = append(header, "off")
+			} else {
+				header = append(header, fmt.Sprintf("depth %d", p.Depth))
+			}
+		}
+	}
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		base := float64(r.Points[0].ExecCycles)
+		row := []string{r.Benchmark}
+		for _, p := range r.Points {
+			row = append(row, fmt.Sprintf("%.3g (%.2f)", float64(p.ExecCycles), float64(p.ExecCycles)/base))
+		}
+		table = append(table, row)
+	}
+	writeTable(w, header, table)
+}
+
+// HybridRow compares pure-MPI virtual-node mode against hybrid MPI+OpenMP
+// (SMP/4: one rank per node, four threads) at equal core counts.
+type HybridRow struct {
+	// Benchmark is the benchmark name.
+	Benchmark string
+	// VNM and SMP4 are the two runs' metrics.
+	VNM, SMP4 *postproc.Metrics
+	// TimeRatio is SMP/4 execution time over VNM (>1: pure MPI wins).
+	TimeRatio float64
+	// TrafficRatio is SMP/4 DDR traffic over VNM.
+	TrafficRatio float64
+}
+
+// HybridModes runs the §IX "OpenMP with MPI on the multicore nodes" study:
+// the same problem on the same nodes, decomposed either into four MPI
+// ranks per node or into one rank of four threads per node.
+func HybridModes(benchmarks []string, s Scale) ([]HybridRow, error) {
+	rows := make([]HybridRow, 0, len(benchmarks))
+	for _, name := range benchmarks {
+		vnm, err := bgp.Run(bgp.RunConfig{
+			Benchmark: name,
+			Class:     s.Class,
+			Ranks:     s.Ranks,
+			Mode:      machine.VNM,
+			Opts:      BestBuild(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("hybrid %s VNM: %w", name, err)
+		}
+		// Same node count, a quarter of the ranks, four threads each.
+		smp4, err := bgp.Run(bgp.RunConfig{
+			Benchmark: name,
+			Class:     s.Class,
+			Ranks:     s.Ranks / machine.VNM.RanksPerNode(),
+			Mode:      machine.SMP4,
+			Opts:      BestBuild(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("hybrid %s SMP/4: %w", name, err)
+		}
+		row := HybridRow{Benchmark: name, VNM: vnm.Metrics, SMP4: smp4.Metrics}
+		if vnm.Metrics.ExecCycles > 0 {
+			row.TimeRatio = float64(smp4.Metrics.ExecCycles) / float64(vnm.Metrics.ExecCycles)
+		}
+		if vnm.Metrics.DDRTrafficBytes > 0 {
+			row.TrafficRatio = float64(smp4.Metrics.DDRTrafficBytes) / float64(vnm.Metrics.DDRTrafficBytes)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderHybrid prints the hybrid study.
+func RenderHybrid(w io.Writer, rows []HybridRow) {
+	fmt.Fprintln(w, "Extension: hybrid MPI+OpenMP (SMP/4) vs pure MPI (VNM), equal cores")
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Benchmark,
+			fmt.Sprintf("%.3g", float64(r.VNM.ExecCycles)),
+			fmt.Sprintf("%.3g", float64(r.SMP4.ExecCycles)),
+			fmt.Sprintf("%.2f", r.TimeRatio),
+			fmt.Sprintf("%.2f", r.TrafficRatio),
+		})
+	}
+	writeTable(w, []string{"benchmark", "VNM cycles", "SMP/4 cycles", "time ratio", "traffic ratio"}, table)
+}

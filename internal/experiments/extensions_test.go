@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	bgp "bgpsim"
+	"bgpsim/internal/compiler"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/postproc"
+)
+
+// bgpRunFT runs FT at -O3 (no loop interchange) with the given L3 prefetch
+// depth and returns its metrics.
+func bgpRunFT(s Scale, l3Depth int) (*postproc.Metrics, error) {
+	res, err := bgp.Run(bgp.RunConfig{
+		Benchmark:       "ft",
+		Class:           s.Class,
+		Ranks:           s.Ranks,
+		Mode:            machine.VNM,
+		Opts:            compiler.Options{Level: compiler.O3, Arch440d: true},
+		L3PrefetchDepth: l3Depth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Metrics, nil
+}
+
+func TestPrefetchSweepShapes(t *testing.T) {
+	rows, err := PrefetchSweep([]string{"ft", "mg"}, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		byDepth := map[int]PrefetchPoint{}
+		for _, p := range r.Points {
+			byDepth[p.Depth] = p
+		}
+		off := byDepth[-1]
+		d2 := byDepth[2]
+		// Streaming benchmarks must benefit from prefetching at all.
+		if d2.ExecCycles >= off.ExecCycles {
+			t.Errorf("%s: depth-2 prefetch (%d cycles) not faster than disabled (%d)",
+				r.Benchmark, d2.ExecCycles, off.ExecCycles)
+		}
+		if off.L2HitFraction != 0 {
+			t.Errorf("%s: prefetch buffer hits with prefetching disabled", r.Benchmark)
+		}
+		if d2.L2HitFraction <= 0.2 {
+			t.Errorf("%s: depth-2 L2 hit fraction %.2f, want streaming coverage", r.Benchmark, d2.L2HitFraction)
+		}
+		// Deeper prefetch must not reduce DDR traffic (speculation is
+		// never free) and the returns diminish.
+		if byDepth[8].DDRTrafficBytes < d2.DDRTrafficBytes {
+			t.Errorf("%s: depth-8 traffic below depth-2", r.Benchmark)
+		}
+	}
+}
+
+func TestHybridModesShapes(t *testing.T) {
+	rows, err := HybridModes([]string{"ep", "mg"}, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// With equal cores, hybrid execution lands in the same ballpark
+		// as pure MPI: within 3x either way (fork/join and serial
+		// communication phases cost something; thread-level split of
+		// one rank's larger domain gains something).
+		if r.TimeRatio < 0.3 || r.TimeRatio > 3 {
+			t.Errorf("%s: hybrid/MPI time ratio %.2f implausible", r.Benchmark, r.TimeRatio)
+		}
+		if r.VNM.Flops <= 0 || r.SMP4.Flops <= 0 {
+			t.Errorf("%s: missing flops", r.Benchmark)
+		}
+		// The same problem is solved either way: total flops within 25%.
+		fr := r.SMP4.Flops / r.VNM.Flops
+		if fr < 0.75 || fr > 1.25 {
+			t.Errorf("%s: hybrid flops ratio %.2f, want ≈1 (same problem)", r.Benchmark, fr)
+		}
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	var buf bytes.Buffer
+
+	pr := []PrefetchRow{{Benchmark: "ft", Points: []PrefetchPoint{
+		{Depth: -1, ExecCycles: 100}, {Depth: 2, ExecCycles: 50},
+	}}}
+	RenderPrefetch(&buf, pr)
+	if !strings.Contains(buf.String(), "off") || !strings.Contains(buf.String(), "depth 2") {
+		t.Errorf("prefetch table malformed:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	stub := &postproc.Metrics{ExecCycles: 1000}
+	hr := []HybridRow{{Benchmark: "mg", VNM: stub, SMP4: stub, TimeRatio: 1.1, TrafficRatio: 0.9}}
+	RenderHybrid(&buf, hr)
+	if !strings.Contains(buf.String(), "mg") || !strings.Contains(buf.String(), "1.10") {
+		t.Errorf("hybrid table malformed:\n%s", buf.String())
+	}
+}
+
+func TestL3PrefetchSweepShapes(t *testing.T) {
+	// FT's y/z FFT passes stride too widely for the per-core L2
+	// detectors at -O3 (no -qhot interchange); the memory-side L3
+	// engine catches them.
+	s := QuickScale()
+	var rows []PrefetchRow
+	for _, depth := range []int{0, 4} {
+		res, err := bgpRunFT(s, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, PrefetchRow{Benchmark: "ft", Points: []PrefetchPoint{{
+			Depth: depth, ExecCycles: res.ExecCycles,
+		}}})
+	}
+	if rows[1].Points[0].ExecCycles >= rows[0].Points[0].ExecCycles {
+		t.Errorf("L3 prefetch depth 4 (%d cycles) not faster than off (%d)",
+			rows[1].Points[0].ExecCycles, rows[0].Points[0].ExecCycles)
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file renders experiment results as aligned text tables — the output
+// format of cmd/bgpsweep and cmd/bgpreport.
+
+// shortClassNames abbreviates the FP class mnemonics for table headers.
+var shortClassNames = map[string]string{
+	"BGP_NODE_FPU_ADD_SUB":      "add-sub",
+	"BGP_NODE_FPU_MULT":         "mult",
+	"BGP_NODE_FPU_DIV":          "div",
+	"BGP_NODE_FPU_FMA":          "fma",
+	"BGP_NODE_FPU_SIMD_ADD_SUB": "simd-add-sub",
+	"BGP_NODE_FPU_SIMD_MULT":    "simd-mult",
+	"BGP_NODE_FPU_SIMD_DIV":     "simd-div",
+	"BGP_NODE_FPU_SIMD_FMA":     "simd-fma",
+}
+
+// fpClassOrder is the presentation order of Figure 6's stacked bars.
+var fpClassOrder = []string{
+	"BGP_NODE_FPU_ADD_SUB",
+	"BGP_NODE_FPU_MULT",
+	"BGP_NODE_FPU_FMA",
+	"BGP_NODE_FPU_DIV",
+	"BGP_NODE_FPU_SIMD_ADD_SUB",
+	"BGP_NODE_FPU_SIMD_FMA",
+	"BGP_NODE_FPU_SIMD_MULT",
+	"BGP_NODE_FPU_SIMD_DIV",
+}
+
+func writeTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// RenderFig6 prints the dynamic FP instruction profile table.
+func RenderFig6(w io.Writer, rows []ProfileRow) {
+	header := []string{"benchmark"}
+	for _, ev := range fpClassOrder {
+		header = append(header, shortClassNames[ev])
+	}
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		row := []string{r.Benchmark}
+		for _, ev := range fpClassOrder {
+			row = append(row, fmt.Sprintf("%5.1f%%", 100*r.Fractions[ev]))
+		}
+		table = append(table, row)
+	}
+	fmt.Fprintln(w, "Figure 6: dynamic FP instruction profile (share of FP instructions)")
+	writeTable(w, header, table)
+}
+
+// RenderCompilerSIMD prints a Figure 7/8-style SIMD instruction table.
+func RenderCompilerSIMD(w io.Writer, benchmark string, pts []CompilerPoint, figure string) {
+	fmt.Fprintf(w, "%s: %s — SIMD instructions by build\n", figure, strings.ToUpper(benchmark))
+	table := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		table = append(table, []string{
+			p.Opts.String(),
+			fmt.Sprintf("%.3g", p.SIMDInstructions),
+			fmt.Sprintf("%5.1f%%", 100*p.SIMDShare),
+		})
+	}
+	writeTable(w, []string{"build", "simd instructions", "simd share"}, table)
+}
+
+// RenderExecTimes prints a Figure 9/10-style execution-time table: one row
+// per benchmark, one column per build, normalized to the baseline build.
+func RenderExecTimes(w io.Writer, rows []ExecTimeRow, figure string) {
+	fmt.Fprintf(w, "%s: execution time by build (cycles, and relative to -O -qstrict)\n", figure)
+	header := []string{"benchmark"}
+	if len(rows) > 0 {
+		for _, p := range rows[0].Points {
+			header = append(header, p.Opts.String())
+		}
+	}
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		row := []string{r.Benchmark}
+		base := float64(r.Points[0].ExecCycles)
+		for _, p := range r.Points {
+			row = append(row, fmt.Sprintf("%.3g (%.2f)", float64(p.ExecCycles), float64(p.ExecCycles)/base))
+		}
+		table = append(table, row)
+	}
+	writeTable(w, header, table)
+}
+
+// RenderFig11 prints the L3-size sweep table: DDR traffic per benchmark and
+// L3 size, normalized to the 0 MB (no L3) point.
+func RenderFig11(w io.Writer, rows []L3Row) {
+	fmt.Fprintln(w, "Figure 11: L3→DDR traffic vs L3 size (bytes, and relative to no L3)")
+	header := []string{"benchmark"}
+	if len(rows) > 0 {
+		for _, p := range rows[0].Points {
+			header = append(header, fmt.Sprintf("%dMB", p.L3Bytes>>20))
+		}
+	}
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		row := []string{r.Benchmark}
+		base := float64(r.Points[0].DDRTrafficBytes)
+		for _, p := range r.Points {
+			row = append(row, fmt.Sprintf("%.3g (%.2f)", float64(p.DDRTrafficBytes), float64(p.DDRTrafficBytes)/base))
+		}
+		table = append(table, row)
+	}
+	writeTable(w, header, table)
+}
+
+// RenderModes prints the Figures 12-14 comparison table.
+func RenderModes(w io.Writer, rows []ModeRow) {
+	fmt.Fprintln(w, "Figures 12-14: virtual-node mode (4 ranks/node, 8MB L3) vs SMP/1 (1 rank/node, 2MB L3)")
+	table := make([][]string, 0, len(rows))
+	var ratios, slows, gains []float64
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Benchmark,
+			fmt.Sprintf("%.2f", r.TrafficRatio),
+			fmt.Sprintf("%+.1f%%", r.SlowdownPct),
+			fmt.Sprintf("%.2f", r.MFLOPSPerChipGain),
+		})
+		ratios = append(ratios, r.TrafficRatio)
+		slows = append(slows, r.SlowdownPct)
+		gains = append(gains, r.MFLOPSPerChipGain)
+	}
+	table = append(table, []string{
+		"mean",
+		fmt.Sprintf("%.2f", Mean(ratios)),
+		fmt.Sprintf("%+.1f%%", Mean(slows)),
+		fmt.Sprintf("%.2f", Mean(gains)),
+	})
+	writeTable(w, []string{
+		"benchmark", "DDR traffic ratio (fig12)", "exec time increase (fig13)", "MFLOPS/chip gain (fig14)",
+	}, table)
+}

@@ -1,0 +1,170 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", c)
+		}
+	}
+	if got := Class(200).String(); got != "Class(200)" {
+		t.Errorf("out-of-range class name = %q", got)
+	}
+}
+
+func TestClassFlops(t *testing.T) {
+	cases := []struct {
+		c    Class
+		want int
+	}{
+		{IntALU, 0}, {Branch, 0}, {Load, 0}, {Store, 0},
+		{QuadLoad, 0}, {QuadStore, 0},
+		{FPAddSub, 1}, {FPMult, 1}, {FPDiv, 1}, {FPFMA, 2},
+		{FPSIMDAddSub, 2}, {FPSIMDMult, 2}, {FPSIMDDiv, 2}, {FPSIMDFMA, 4},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Flops(); got != tc.want {
+			t.Errorf("%v.Flops() = %d, want %d", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.IsSIMD() && !c.IsFP() {
+			t.Errorf("%v: SIMD implies FP", c)
+		}
+		if c.IsFP() && c.IsMem() {
+			t.Errorf("%v: cannot be both FP and memory", c)
+		}
+		if c.IsLoad() && c.IsStore() {
+			t.Errorf("%v: cannot be both load and store", c)
+		}
+		if (c.IsLoad() || c.IsStore()) != c.IsMem() {
+			t.Errorf("%v: load/store inconsistent with IsMem", c)
+		}
+		if c.IsMem() && c.AccessBytes() == 0 {
+			t.Errorf("%v: memory op with zero access width", c)
+		}
+		if !c.IsMem() && c.AccessBytes() != 0 {
+			t.Errorf("%v: non-memory op with access width", c)
+		}
+	}
+	if Load.AccessBytes() != 8 || QuadLoad.AccessBytes() != 16 {
+		t.Error("scalar loads move 8 bytes, quad loads 16")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	good := &Program{
+		Name:    "good",
+		Regions: []Region{{Name: "a", Size: 4096}},
+		Loops: []Loop{{
+			Name:  "l0",
+			Trips: 10,
+			Body: []Op{
+				{Class: FPFMA},
+				{Class: Load, Pat: Seq, Region: 0, Stride: 8},
+				{Class: Store, Pat: Random, Region: 0},
+			},
+		}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+
+	bad := []*Program{
+		{Name: "mem-no-pattern", Regions: []Region{{Size: 64}},
+			Loops: []Loop{{Trips: 1, Body: []Op{{Class: Load}}}}},
+		{Name: "bad-region", Regions: []Region{{Size: 64}},
+			Loops: []Loop{{Trips: 1, Body: []Op{{Class: Load, Pat: Seq, Region: 3, Stride: 8}}}}},
+		{Name: "zero-stride", Regions: []Region{{Size: 64}},
+			Loops: []Loop{{Trips: 1, Body: []Op{{Class: Load, Pat: Seq, Region: 0}}}}},
+		{Name: "fp-with-pattern", Regions: []Region{{Size: 64}},
+			Loops: []Loop{{Trips: 1, Body: []Op{{Class: FPFMA, Pat: Seq}}}}},
+		{Name: "negative-trips", Regions: nil,
+			Loops: []Loop{{Trips: -1}}},
+		{Name: "bad-class", Regions: nil,
+			Loops: []Loop{{Trips: 1, Body: []Op{{Class: NumClasses}}}}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("program %q: want validation error, got nil", p.Name)
+		}
+	}
+}
+
+func TestMixTotalsAndFlops(t *testing.T) {
+	var m Mix
+	m.Add(FPFMA, 10)       // 20 flops
+	m.Add(FPSIMDFMA, 5)    // 20 flops
+	m.Add(FPAddSub, 3)     // 3 flops
+	m.Add(FPSIMDAddSub, 2) // 4 flops
+	m.Add(Load, 7)         // 0
+	m.Add(IntALU, 100)     // 0
+
+	if got, want := m.Total(), uint64(127); got != want {
+		t.Errorf("Total = %d, want %d", got, want)
+	}
+	if got, want := m.Flops(), uint64(47); got != want {
+		t.Errorf("Flops = %d, want %d", got, want)
+	}
+	if got, want := m.FPInstructions(), uint64(20); got != want {
+		t.Errorf("FPInstructions = %d, want %d", got, want)
+	}
+	if got, want := m.SIMDInstructions(), uint64(7); got != want {
+		t.Errorf("SIMDInstructions = %d, want %d", got, want)
+	}
+	if got, want := m.SIMDShare(), 7.0/20.0; got != want {
+		t.Errorf("SIMDShare = %g, want %g", got, want)
+	}
+}
+
+func TestMixSIMDShareEmpty(t *testing.T) {
+	var m Mix
+	if got := m.SIMDShare(); got != 0 {
+		t.Errorf("empty mix SIMDShare = %g, want 0", got)
+	}
+}
+
+func TestMixMergeCommutes(t *testing.T) {
+	f := func(a, b [NumClasses]uint16) bool {
+		var ma, mb, ab, ba Mix
+		for c := range a {
+			ma[c] = uint64(a[c])
+			mb[c] = uint64(b[c])
+		}
+		ab = ma
+		ab.Merge(&mb)
+		ba = mb
+		ba.Merge(&ma)
+		return ab == ba && ab.Total() == ma.Total()+mb.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynamicMix(t *testing.T) {
+	p := &Program{
+		Name:    "p",
+		Regions: []Region{{Name: "a", Size: 1 << 20}},
+		Loops: []Loop{
+			{Name: "l0", Trips: 100, Body: []Op{
+				{Class: FPSIMDFMA}, {Class: QuadLoad, Pat: Seq, Region: 0, Stride: 16},
+			}},
+			{Name: "l1", Trips: 50, Body: []Op{{Class: FPDiv}}},
+		},
+	}
+	m := p.DynamicMix()
+	if m[FPSIMDFMA] != 100 || m[QuadLoad] != 100 || m[FPDiv] != 50 {
+		t.Errorf("unexpected dynamic mix: %+v", m)
+	}
+	if got, want := m.Flops(), uint64(100*4+50); got != want {
+		t.Errorf("Flops = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,59 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: TorusDims always factorizes exactly, ordered x ≥ y ≥ z.
+func TestTorusDimsProperty(t *testing.T) {
+	f := func(v uint16) bool {
+		n := int(v)%4096 + 1
+		x, y, z := TorusDims(n)
+		return x*y*z == n && x >= y && y >= z && z >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: placement is a bijection from ranks onto (node, core) slots.
+func TestPlacementBijective(t *testing.T) {
+	for _, mode := range []OpMode{SMP1, SMP4, Dual, VNM} {
+		m := New(6, mode, DefaultParams())
+		seen := map[[2]int]bool{}
+		for rank := 0; rank < m.MaxRanks(); rank++ {
+			nodeID, coreID := m.Place(rank)
+			if nodeID < 0 || nodeID >= m.NumNodes() || coreID < 0 || coreID > 3 {
+				t.Fatalf("%v rank %d placed out of range: node %d core %d", mode, rank, nodeID, coreID)
+			}
+			key := [2]int{nodeID, coreID}
+			if seen[key] {
+				t.Fatalf("%v: two ranks share node %d core %d", mode, nodeID, coreID)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+// Property: in every mode, the core sets of co-located ranks (pinned core
+// through pinned core + threads - 1) never overlap.
+func TestThreadCoreSetsDisjoint(t *testing.T) {
+	for _, mode := range []OpMode{SMP1, SMP4, Dual, VNM} {
+		threads := mode.ThreadsPerRank()
+		used := map[int]bool{}
+		for slot := 0; slot < mode.RanksPerNode(); slot++ {
+			base := mode.CoreForSlot(slot)
+			for tth := 0; tth < threads; tth++ {
+				c := base + tth
+				if c > 3 {
+					t.Fatalf("%v slot %d thread %d exceeds core 3", mode, slot, tth)
+				}
+				if used[c] {
+					t.Fatalf("%v: core %d claimed twice", mode, c)
+				}
+				used[c] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package mpi
+
+import (
+	"testing"
+
+	"bgpsim/internal/isa"
+	"bgpsim/internal/machine"
+)
+
+// Microbenchmarks of the runtime: how fast the simulator schedules ranks,
+// delivers messages and completes collectives (host time, not simulated
+// time).
+
+func benchJob(b *testing.B, nodes, ranks int) *Job {
+	b.Helper()
+	m := machine.New(nodes, machine.VNM, machine.DefaultParams())
+	j, err := NewJob(m, ranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return j
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	j := benchJob(b, 2, 8)
+	n := b.N
+	err := j.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			for i := 0; i < n; i++ {
+				r.Send(4, 1024)
+				r.Recv(4)
+			}
+		case 4:
+			for i := 0; i < n; i++ {
+				r.Recv(0)
+				r.Send(0, 1024)
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	j := benchJob(b, 4, 16)
+	n := b.N
+	err := j.Run(func(r *Rank) {
+		for i := 0; i < n; i++ {
+			r.Barrier()
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAlltoall16(b *testing.B) {
+	j := benchJob(b, 4, 16)
+	n := b.N
+	err := j.Run(func(r *Rank) {
+		for i := 0; i < n; i++ {
+			r.Alltoall(1024)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkExecThroughput measures simulated-op throughput through the
+// scheduler (ops of simulated work per host-second).
+func BenchmarkExecThroughput(b *testing.B) {
+	p := &isa.Program{
+		Name:    "tput",
+		Regions: []isa.Region{{Name: "a", Size: 1 << 20}},
+		Loops: []isa.Loop{{
+			Name:  "l",
+			Trips: int64(b.N),
+			Body: []isa.Op{
+				{Class: isa.FPFMA},
+				{Class: isa.FPAddSub},
+				{Class: isa.Load, Pat: isa.Seq, Region: 0, Stride: 8},
+				{Class: isa.IntALU},
+			},
+		}},
+	}
+	j := benchJob(b, 1, 1)
+	if err := j.Run(func(r *Rank) { r.Exec(p) }); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(4*b.N)/b.Elapsed().Seconds(), "sim-ops/s")
+}

@@ -1,0 +1,382 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"bgpsim/internal/isa"
+	"bgpsim/internal/machine"
+)
+
+func newVNMJob(t *testing.T, nodes, ranks int) *Job {
+	t.Helper()
+	m := machine.New(nodes, machine.VNM, machine.DefaultParams())
+	j, err := NewJob(m, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func computeProgram(trips int64) *isa.Program {
+	return &isa.Program{
+		Name:    "compute",
+		Regions: []isa.Region{{Name: "a", Size: 1 << 16}},
+		Loops: []isa.Loop{{
+			Name:  "l",
+			Trips: trips,
+			Body: []isa.Op{
+				{Class: isa.FPFMA},
+				{Class: isa.Load, Pat: isa.Seq, Region: 0, Stride: 8},
+			},
+		}},
+	}
+}
+
+func TestJobCapacity(t *testing.T) {
+	m := machine.New(2, machine.SMP1, machine.DefaultParams())
+	if _, err := NewJob(m, 3); err == nil {
+		t.Error("oversubscribed job accepted")
+	}
+	if _, err := NewJob(m, 0); err == nil {
+		t.Error("zero-rank job accepted")
+	}
+	j, err := NewJob(m, 2)
+	if err != nil || j.Size() != 2 {
+		t.Fatalf("NewJob: %v", err)
+	}
+}
+
+func TestRunExecutesAllRanks(t *testing.T) {
+	j := newVNMJob(t, 2, 8)
+	p := computeProgram(1000)
+	ran := make([]bool, 8)
+	err := j.Run(func(r *Rank) {
+		ran[r.ID()] = true
+		r.Exec(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range ran {
+		if !ok {
+			t.Errorf("rank %d did not run", i)
+		}
+	}
+	// Each core must carry its rank's op counts.
+	for _, info := range j.Placement() {
+		c := j.Machine().Nodes[info.NodeID].Cores[info.CoreID]
+		if c.Mix[isa.FPFMA] != 1000 {
+			t.Errorf("rank %d core FMA = %d, want 1000", info.Rank, c.Mix[isa.FPFMA])
+		}
+	}
+}
+
+func TestSendRecvAdvancesReceiverClock(t *testing.T) {
+	j := newVNMJob(t, 2, 8)
+	var sendClock, recvClock uint64
+	err := j.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Exec(computeProgram(50000)) // receiver is late on purpose? no: sender busy
+			r.Send(7, 4096)
+			sendClock = r.Cycles()
+		case 7:
+			r.Recv(0)
+			recvClock = r.Cycles()
+		default:
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recvClock <= sendClock {
+		t.Errorf("receiver clock %d not after sender send at %d (transfer latency missing)",
+			recvClock, sendClock)
+	}
+}
+
+func TestMessagesFIFOPerSource(t *testing.T) {
+	j := newVNMJob(t, 1, 2)
+	var sizes []int
+	err := j.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 100)
+			r.Send(1, 200)
+			r.Send(1, 300)
+		} else {
+			for i := 0; i < 3; i++ {
+				sizes = append(sizes, r.Recv(0))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 3 || sizes[0] != 100 || sizes[1] != 200 || sizes[2] != 300 {
+		t.Errorf("receive order = %v, want [100 200 300]", sizes)
+	}
+}
+
+func TestRecvAnySource(t *testing.T) {
+	j := newVNMJob(t, 1, 3)
+	got := 0
+	err := j.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			got = r.Recv(AnySource) + r.Recv(AnySource)
+		default:
+			r.Send(0, r.ID())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("any-source receives totalled %d, want 3", got)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	j := newVNMJob(t, 1, 2)
+	err := j.Run(func(r *Rank) {
+		r.Recv(1 - r.ID()) // both wait, nobody sends
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("want deadlock error, got %v", err)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	j := newVNMJob(t, 2, 8)
+	clocks := make([]uint64, 8)
+	err := j.Run(func(r *Rank) {
+		// Rank 3 computes far longer than the others.
+		if r.ID() == 3 {
+			r.Exec(computeProgram(300000))
+		} else {
+			r.Exec(computeProgram(100))
+		}
+		r.Barrier()
+		clocks[r.ID()] = r.Cycles()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 8; i++ {
+		if clocks[i] != clocks[0] {
+			t.Errorf("rank %d clock %d after barrier, rank 0 has %d", i, clocks[i], clocks[0])
+		}
+	}
+	// The barrier release must be at least the slowest rank's arrival.
+	slowest := j.Machine().Nodes[0].Cores[3].Cycles
+	if clocks[0] < slowest {
+		t.Errorf("barrier released at %d before slowest arrival %d", clocks[0], slowest)
+	}
+}
+
+func TestCollectiveCounters(t *testing.T) {
+	j := newVNMJob(t, 2, 8)
+	err := j.Run(func(r *Rank) {
+		r.Barrier()
+		r.Allreduce(64)
+		r.Bcast(0, 1024)
+		r.Reduce(0, 512)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range j.Machine().Nodes {
+		col := n.Collective
+		if col.Barriers != 1 {
+			t.Errorf("node %d barriers = %d, want 1", n.ID(), col.Barriers)
+		}
+		// Allreduce = reduce + bcast on the tree.
+		if col.Bcasts != 2 || col.Reduces != 2 {
+			t.Errorf("node %d bcasts=%d reduces=%d, want 2/2", n.ID(), col.Bcasts, col.Reduces)
+		}
+	}
+}
+
+func TestCollectiveMismatchAborts(t *testing.T) {
+	j := newVNMJob(t, 1, 2)
+	err := j.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Barrier()
+		} else {
+			r.Allreduce(8)
+		}
+	})
+	if err == nil {
+		t.Error("mismatched collectives did not abort")
+	}
+}
+
+func TestRankPanicPropagates(t *testing.T) {
+	j := newVNMJob(t, 1, 4)
+	err := j.Run(func(r *Rank) {
+		if r.ID() == 2 {
+			panic("kernel bug")
+		}
+		r.Barrier()
+	})
+	if err == nil || !strings.Contains(err.Error(), "kernel bug") {
+		t.Errorf("want propagated panic, got %v", err)
+	}
+}
+
+func TestIntraNodeMessagesAvoidTorusAndDDR(t *testing.T) {
+	j := newVNMJob(t, 2, 8)
+	err := j.Run(func(r *Rank) {
+		// Ranks 0-3 share node 0: ring exchange inside the node.
+		if r.ID() < 4 {
+			r.Send((r.ID()+1)%4, 8192)
+			r.Recv((r.ID() + 3) % 4)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := j.Machine().Nodes[0]
+	if n0.Torus.SendPackets != 0 {
+		t.Errorf("intra-node messages used the torus: %d packets", n0.Torus.SendPackets)
+	}
+}
+
+func TestInterNodeMessagesUseTorusAndDMA(t *testing.T) {
+	j := newVNMJob(t, 2, 8)
+	err := j.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(4, 65536) // rank 4 is on node 1
+		}
+		if r.ID() == 4 {
+			r.Recv(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0, n1 := j.Machine().Nodes[0], j.Machine().Nodes[1]
+	if n0.Torus.SendBytes != 65536 || n1.Torus.RecvBytes != 65536 {
+		t.Errorf("torus bytes = %d/%d, want 65536", n0.Torus.SendBytes, n1.Torus.RecvBytes)
+	}
+	if n0.DDR[0].ReadLines+n0.DDR[1].ReadLines == 0 {
+		t.Error("sender DMA read traffic missing")
+	}
+	if n1.DDR[0].WriteLines+n1.DDR[1].WriteLines == 0 {
+		t.Error("receiver DMA write traffic missing")
+	}
+}
+
+func TestAlltoallTraffic(t *testing.T) {
+	j := newVNMJob(t, 2, 8)
+	err := j.Run(func(r *Rank) {
+		r.Alltoall(1024)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 ranks per node each send 1024B to the 4 ranks of the other node:
+	// 16 inter-node messages of 1024B leave each node.
+	n0 := j.Machine().Nodes[0]
+	if got, want := n0.Torus.SendBytes, uint64(16*1024); got != want {
+		t.Errorf("alltoall torus bytes from node 0 = %d, want %d", got, want)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (uint64, uint64) {
+		j := newVNMJob(t, 2, 8)
+		p := computeProgram(20000)
+		if err := j.Run(func(r *Rank) {
+			r.Exec(p)
+			r.Allreduce(64)
+			r.Send((r.ID()+1)%8, 4096)
+			r.Recv((r.ID() + 7) % 8)
+			r.Exec(p)
+			r.Barrier()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var cyc, ddr uint64
+		for _, n := range j.Machine().Nodes {
+			ddr += n.DDRTrafficLines()
+			for _, c := range n.Cores {
+				cyc += c.Cycles
+			}
+		}
+		return cyc, ddr
+	}
+	c1, d1 := run()
+	c2, d2 := run()
+	if c1 != c2 || d1 != d2 {
+		t.Errorf("simulation not deterministic: (%d,%d) vs (%d,%d)", c1, d1, c2, d2)
+	}
+}
+
+func TestComputeCharging(t *testing.T) {
+	j := newVNMJob(t, 1, 1)
+	err := j.Run(func(r *Rank) {
+		before := r.Cycles()
+		r.Compute(123456)
+		if got := r.Cycles() - before; got != 123456 {
+			t.Errorf("Compute charged %d cycles, want 123456", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecRewindsOnReuse(t *testing.T) {
+	j := newVNMJob(t, 1, 1)
+	p := computeProgram(500)
+	err := j.Run(func(r *Rank) {
+		r.Exec(p)
+		r.Exec(p) // second execution must re-run, not no-op
+		if got := r.Core().Mix[isa.FPFMA]; got != 1000 {
+			t.Errorf("FMA after two Execs = %d, want 1000", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	j := newVNMJob(t, 1, 1)
+	err := j.Run(func(r *Rank) {
+		r.Send(0, 64)
+		if got := r.Recv(0); got != 64 {
+			t.Errorf("self-receive = %d bytes, want 64", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTwiceRejected(t *testing.T) {
+	j := newVNMJob(t, 1, 1)
+	if err := j.Run(func(r *Rank) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Run(func(r *Rank) {}); err == nil {
+		t.Error("second Run accepted")
+	}
+}
+
+func TestPlacementInfo(t *testing.T) {
+	j := newVNMJob(t, 2, 8)
+	info := j.Placement()
+	if len(info) != 8 {
+		t.Fatalf("placement entries = %d", len(info))
+	}
+	if info[5].NodeID != 1 || info[5].CoreID != 1 {
+		t.Errorf("rank 5 placed at node %d core %d, want node 1 core 1", info[5].NodeID, info[5].CoreID)
+	}
+	ids := j.NodeIDs()
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Errorf("NodeIDs = %v", ids)
+	}
+}

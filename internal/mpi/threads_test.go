@@ -1,0 +1,200 @@
+package mpi
+
+import (
+	"testing"
+
+	"bgpsim/internal/isa"
+	"bgpsim/internal/machine"
+)
+
+// threadProgram is a compute-heavy loop whose work splits cleanly.
+func threadProgram(trips int64) *isa.Program {
+	return &isa.Program{
+		Name:    "tp",
+		Group:   "tp",
+		Regions: []isa.Region{{Name: "a", Size: 1 << 20}},
+		Loops: []isa.Loop{{
+			Name:  "l",
+			Trips: trips,
+			Body: []isa.Op{
+				{Class: isa.FPFMA},
+				{Class: isa.FPAddSub},
+				{Class: isa.Load, Pat: isa.Seq, Region: 0, Stride: 8},
+			},
+		}},
+	}
+}
+
+func TestSMP4SplitsWorkAcrossCores(t *testing.T) {
+	m := machine.New(2, machine.SMP4, machine.DefaultParams())
+	j, err := NewJob(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := threadProgram(100000)
+	if err := j.Run(func(r *Rank) { r.Exec(p) }); err != nil {
+		t.Fatal(err)
+	}
+	n0 := m.Nodes[0]
+	var total uint64
+	for c := 0; c < 4; c++ {
+		fma := n0.Cores[c].Mix[isa.FPFMA]
+		if fma == 0 {
+			t.Errorf("core %d executed nothing in SMP/4", c)
+		}
+		total += fma
+	}
+	if total != 100000 {
+		t.Errorf("total FMA across threads = %d, want exactly 100000", total)
+	}
+}
+
+func TestDualUsesCorePairs(t *testing.T) {
+	m := machine.New(1, machine.Dual, machine.DefaultParams())
+	j, err := NewJob(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := threadProgram(50000)
+	if err := j.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Exec(p)
+		}
+		r.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n := m.Nodes[0]
+	// Rank 0 owns cores 0-1; rank 1 (idle) owns cores 2-3.
+	if n.Cores[0].Mix[isa.FPFMA] == 0 || n.Cores[1].Mix[isa.FPFMA] == 0 {
+		t.Error("DUAL rank 0 did not use both of its cores")
+	}
+	if n.Cores[2].Mix[isa.FPFMA] != 0 || n.Cores[3].Mix[isa.FPFMA] != 0 {
+		t.Error("DUAL rank 0 leaked work onto rank 1's cores")
+	}
+}
+
+func TestThreadedSpeedup(t *testing.T) {
+	run := func(mode machine.OpMode) uint64 {
+		m := machine.New(1, mode, machine.DefaultParams())
+		j, err := NewJob(m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := threadProgram(200000)
+		if err := j.Run(func(r *Rank) { r.Exec(p) }); err != nil {
+			t.Fatal(err)
+		}
+		return m.Nodes[0].Cores[0].Cycles
+	}
+	serial := run(machine.SMP1)
+	parallel := run(machine.SMP4)
+	speedup := float64(serial) / float64(parallel)
+	if speedup < 2.5 || speedup > 4.01 {
+		t.Errorf("SMP/4 speedup = %.2fx, want near 4x on a compute loop", speedup)
+	}
+}
+
+func TestThreadedWorkConservation(t *testing.T) {
+	// The same program must execute exactly the same dynamic ops
+	// whether run serially or split across threads.
+	mixFor := func(mode machine.OpMode) isa.Mix {
+		m := machine.New(1, mode, machine.DefaultParams())
+		j, _ := NewJob(m, 1)
+		p := threadProgram(99991) // prime: shards are uneven
+		if err := j.Run(func(r *Rank) { r.Exec(p) }); err != nil {
+			t.Fatal(err)
+		}
+		return m.Nodes[0].NodeMix()
+	}
+	if a, b := mixFor(machine.SMP1), mixFor(machine.SMP4); a != b {
+		t.Errorf("threaded mix %v differs from serial %v", b, a)
+	}
+}
+
+func TestThreadedRepeatedRegions(t *testing.T) {
+	m := machine.New(1, machine.SMP4, machine.DefaultParams())
+	j, _ := NewJob(m, 1)
+	p := threadProgram(10000)
+	if err := j.Run(func(r *Rank) {
+		r.Exec(p)
+		r.Exec(p) // parallel region re-entered: shards must rewind
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, c := range m.Nodes[0].Cores {
+		total += c.Mix[isa.FPFMA]
+	}
+	if total != 20000 {
+		t.Errorf("two regions executed %d FMAs, want 20000", total)
+	}
+}
+
+func TestThreadedShardsShareArrays(t *testing.T) {
+	// Sequential shards walk disjoint chunks of one region: after a
+	// parallel sweep, a serial re-walk on the master must find the data
+	// in the shared L3 (one footprint, not four).
+	m := machine.New(1, machine.SMP4, machine.DefaultParams())
+	j, _ := NewJob(m, 1)
+	p := threadProgram(1 << 17) // touches the full 1 MB region
+	if err := j.Run(func(r *Rank) { r.Exec(p) }); err != nil {
+		t.Fatal(err)
+	}
+	lines := m.Nodes[0].DDRTrafficLines()
+	// One 1 MB footprint is 8192 lines; four private copies would be 4x.
+	if lines > 8192*2 {
+		t.Errorf("threaded sweep moved %d DDR lines, want ~8192 (shared arrays)", lines)
+	}
+}
+
+func TestDualModeThreadedWithComm(t *testing.T) {
+	// Two DUAL ranks on one node compute with two threads each and
+	// exchange messages: the mixed thread/message path must stay
+	// deterministic and conserve work.
+	run := func() (isa.Mix, uint64) {
+		m := machine.New(1, machine.Dual, machine.DefaultParams())
+		j, err := NewJob(m, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := threadProgram(40000)
+		if err := j.Run(func(r *Rank) {
+			r.Exec(p)
+			r.Send(1-r.ID(), 4096)
+			r.Recv(1 - r.ID())
+			r.Exec(p)
+			r.Barrier()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var cyc uint64
+		for _, c := range m.Nodes[0].Cores {
+			cyc += c.Cycles
+		}
+		return m.Nodes[0].NodeMix(), cyc
+	}
+	mix1, cyc1 := run()
+	mix2, cyc2 := run()
+	if mix1 != mix2 || cyc1 != cyc2 {
+		t.Error("DUAL-mode threaded run not deterministic")
+	}
+	if got := mix1[isa.FPFMA]; got != 2*2*40000 {
+		t.Errorf("FMA = %d, want 160000 (2 ranks × 2 regions)", got)
+	}
+}
+
+func TestThreadedSamplerInteraction(t *testing.T) {
+	// The scheduler-advance hook must fire during threaded regions too.
+	m := machine.New(1, machine.SMP4, machine.DefaultParams())
+	j, _ := NewJob(m, 1)
+	ticks := 0
+	j.OnAdvance(func(clock uint64) { ticks++ })
+	p := threadProgram(300000)
+	if err := j.Run(func(r *Rank) { r.Exec(p) }); err != nil {
+		t.Fatal(err)
+	}
+	if ticks < 4 {
+		t.Errorf("advance hook fired %d times during a long threaded region", ticks)
+	}
+}

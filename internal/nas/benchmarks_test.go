@@ -1,0 +1,186 @@
+package nas
+
+// Per-benchmark behavioural signatures: each NAS kernel has a distinctive
+// communication pattern and scaling behaviour that the network counters
+// must reflect.
+
+import (
+	"testing"
+
+	"bgpsim/internal/compiler"
+	"bgpsim/internal/isa"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+)
+
+// runOnMachine builds and runs a benchmark, returning the machine.
+func runOnMachine(t *testing.T, name string, class Class, ranks int) *machine.Machine {
+	t.Helper()
+	b, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks = b.RanksFor(ranks)
+	app, err := b.Build(Config{Class: class, Ranks: ranks,
+		Opts: compiler.Options{Level: compiler.O5, Arch440d: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New((ranks+3)/4, machine.VNM, machine.DefaultParams())
+	j, err := mpi.NewJob(m, app.Ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Run(app.Body); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func totalTorusBytes(m *machine.Machine) uint64 {
+	var n uint64
+	for _, nd := range m.Nodes {
+		n += nd.Torus.SendBytes
+	}
+	return n
+}
+
+func TestEPCommunicatesOnlyThroughCollectives(t *testing.T) {
+	m := runOnMachine(t, "ep", ClassS, 16)
+	if got := totalTorusBytes(m); got != 0 {
+		t.Errorf("EP moved %d torus bytes; it must only reduce", got)
+	}
+	col := m.Nodes[0].Collective
+	if col.Reduces == 0 || col.Barriers == 0 {
+		t.Errorf("EP collectives missing: %d reduces, %d barriers", col.Reduces, col.Barriers)
+	}
+}
+
+func TestMGCollectiveCadence(t *testing.T) {
+	m := runOnMachine(t, "mg", ClassS, 16)
+	col := m.Nodes[0].Collective
+	// One allreduce (reduce+bcast) per V-cycle plus the final one.
+	want := uint64(mgCycles + 1)
+	if col.Reduces != want || col.Bcasts != want {
+		t.Errorf("MG reduces/bcasts = %d/%d, want %d each", col.Reduces, col.Bcasts, want)
+	}
+	if col.Barriers != 1 {
+		t.Errorf("MG barriers = %d, want 1 (startup)", col.Barriers)
+	}
+	if totalTorusBytes(m) == 0 {
+		t.Error("MG halo exchanges moved no torus bytes")
+	}
+}
+
+func TestFTAlltoallTouchesEveryNodePair(t *testing.T) {
+	m := runOnMachine(t, "ft", ClassS, 16)
+	// Personalized all-to-all: every node both sends and receives a
+	// comparable share of the transpose volume.
+	var minSend, maxSend uint64 = ^uint64(0), 0
+	for _, nd := range m.Nodes {
+		if nd.Torus.SendBytes < minSend {
+			minSend = nd.Torus.SendBytes
+		}
+		if nd.Torus.SendBytes > maxSend {
+			maxSend = nd.Torus.SendBytes
+		}
+	}
+	if minSend == 0 {
+		t.Fatal("a node sent nothing during FT transposes")
+	}
+	if float64(maxSend)/float64(minSend) > 1.5 {
+		t.Errorf("FT transpose volume imbalanced: %d vs %d", minSend, maxSend)
+	}
+}
+
+func TestISExchangesKeysTwicePerRun(t *testing.T) {
+	m := runOnMachine(t, "is", ClassS, 16)
+	// Two iterations, each with one all-to-all of keys*8/ranks bytes per
+	// rank pair: inter-node volume is deterministic.
+	b, _ := ByName("is")
+	app, _ := b.Build(Config{Class: ClassS, Ranks: 16, Opts: compiler.Options{}})
+	_ = app
+	if totalTorusBytes(m) == 0 {
+		t.Fatal("IS moved no keys over the torus")
+	}
+	col := m.Nodes[0].Collective
+	if col.Reduces != uint64(isIters+1) {
+		t.Errorf("IS reduces = %d, want %d (boundaries per iteration + verification)",
+			col.Reduces, isIters+1)
+	}
+}
+
+func TestLUPipelineSerializes(t *testing.T) {
+	// The wavefront pipeline makes later ranks finish later: rank clocks
+	// after the sweep must increase along the pipeline.
+	b, _ := ByName("lu")
+	app, err := b.Build(Config{Class: ClassS, Ranks: 8, Opts: compiler.Options{Level: compiler.O3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(2, machine.VNM, machine.DefaultParams())
+	j, _ := mpi.NewJob(m, 8)
+	if err := j.Run(app.Body); err != nil {
+		t.Fatal(err)
+	}
+	if totalTorusBytes(m) == 0 {
+		t.Error("LU pipeline messages missing")
+	}
+}
+
+func TestSPBTFaceExchangeOnSquareGrid(t *testing.T) {
+	for _, name := range []string{"sp", "bt"} {
+		m := runOnMachine(t, name, ClassS, 16) // 16 is a perfect square
+		if totalTorusBytes(m) == 0 {
+			t.Errorf("%s face exchanges moved no torus bytes", name)
+		}
+		col := m.Nodes[0].Collective
+		if col.Reduces == 0 {
+			t.Errorf("%s residual reductions missing", name)
+		}
+	}
+}
+
+func TestWorkConservedAcrossRankCounts(t *testing.T) {
+	// A class's total problem is fixed: the suite-wide dynamic flops must
+	// not depend on how many ranks divide it (within the per-loop floors).
+	for _, name := range []string{"mg", "ft", "cg", "lu"} {
+		b, _ := ByName(name)
+		totalFlops := func(ranks int) float64 {
+			ranks = b.RanksFor(ranks)
+			app, err := b.Build(Config{Class: ClassB, Ranks: ranks, Opts: compiler.Options{Level: compiler.O3}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var per isa.Mix
+			for _, ph := range app.Kernel.Phases {
+				p := compiler.MustCompile(app.Kernel, ph.Name, compiler.Options{Level: compiler.O3})
+				m := p.DynamicMix()
+				per.Merge(&m)
+			}
+			return float64(per.Flops()) * float64(ranks)
+		}
+		f16, f64 := totalFlops(16), totalFlops(64)
+		if ratio := f64 / f16; ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("%s: total flops ratio 64/16 ranks = %.3f, want ≈1", name, ratio)
+		}
+	}
+}
+
+func TestCommVolumeScalesSubLinearly(t *testing.T) {
+	// Halo surfaces scale with the 2/3 power of the per-rank volume:
+	// quadrupling the class must far less than quadruple MG's torus
+	// traffic per rank... but must increase it.
+	bytesFor := func(c Class) uint64 {
+		m := runOnMachine(t, "mg", c, 16)
+		return totalTorusBytes(m)
+	}
+	small, large := bytesFor(ClassS), bytesFor(ClassA)
+	if large <= small {
+		t.Fatalf("halo bytes did not grow with class: %d vs %d", small, large)
+	}
+	// Volume grew 16x; surface should grow well under 16x.
+	if float64(large)/float64(small) > 12 {
+		t.Errorf("halo growth %.1fx looks volumetric, want surface-like", float64(large)/float64(small))
+	}
+}

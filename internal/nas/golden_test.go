@@ -1,0 +1,62 @@
+package nas
+
+// Golden regression values: the exact per-rank dynamic instruction mix of
+// every benchmark at a fixed configuration (class S, 8 ranks, the best
+// build). Kernels and the compiler model are fully deterministic, so any
+// drift here is an intentional model change — update the table together
+// with EXPERIMENTS.md when retuning — or an accidental one, which this
+// test exists to catch.
+
+import (
+	"testing"
+
+	"bgpsim/internal/compiler"
+	"bgpsim/internal/isa"
+)
+
+type goldenMix struct {
+	total, flops, fp, simd uint64
+	footprint              uint64
+}
+
+var goldenClassS = map[string]goldenMix{
+	"mg": {total: 51501, flops: 93120, fp: 34978, simd: 33502, footprint: 55296},
+	"ft": {total: 95494, flops: 153750, fp: 59303, simd: 56947, footprint: 185536},
+	"ep": {total: 112544, flops: 159654, fp: 84186, simd: 0, footprint: 81920},
+	"cg": {total: 41394, flops: 12816, fp: 6042, simd: 750, footprint: 70240},
+	"is": {total: 90840, flops: 935, fp: 561, simd: 0, footprint: 136384},
+	"lu": {total: 59469, flops: 78342, fp: 42226, simd: 4067, footprint: 66472},
+	"sp": {total: 106999, flops: 112888, fp: 58324, simd: 10717, footprint: 125000},
+	"bt": {total: 92031, flops: 130674, fp: 68644, simd: 4410, footprint: 156000},
+}
+
+func TestGoldenDynamicMixes(t *testing.T) {
+	opts := compiler.Options{Level: compiler.O5, Arch440d: true}
+	for _, b := range All() {
+		want, ok := goldenClassS[b.Name]
+		if !ok {
+			t.Fatalf("no golden for %s", b.Name)
+		}
+		app, err := b.Build(Config{Class: ClassS, Ranks: b.RanksFor(8), Opts: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m isa.Mix
+		for _, ph := range app.Kernel.Phases {
+			p := compiler.MustCompile(app.Kernel, ph.Name, opts)
+			dm := p.DynamicMix()
+			m.Merge(&dm)
+		}
+		got := goldenMix{
+			total:     m.Total(),
+			flops:     m.Flops(),
+			fp:        m.FPInstructions(),
+			simd:      m.SIMDInstructions(),
+			footprint: app.Kernel.FootprintBytes(),
+		}
+		if got != want {
+			t.Errorf("%s drifted:\n  got  %+v\n  want %+v\n(update the golden only for an intentional model change)",
+				b.Name, got, want)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package nas
+
+import (
+	"testing"
+
+	"bgpsim/internal/compiler"
+	"bgpsim/internal/isa"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"mg", "ft", "ep", "cg", "is", "lu", "sp", "bt"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("suite has %d benchmarks, want %d", len(all), len(want))
+	}
+	for i, b := range all {
+		if b.Name != want[i] {
+			t.Errorf("benchmark %d = %s, want %s", i, b.Name, want[i])
+		}
+		if b.Description == "" || b.Build == nil || b.RanksFor == nil {
+			t.Errorf("benchmark %s incompletely registered", b.Name)
+		}
+	}
+	if _, err := ByName("MG"); err != nil {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, err := ByName("zz"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestClassParsing(t *testing.T) {
+	for _, c := range []Class{ClassS, ClassW, ClassA, ClassB, ClassC} {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%s) = %v, %v", c, got, err)
+		}
+	}
+	if _, err := ParseClass("D"); err == nil {
+		t.Error("unknown class accepted")
+	}
+	// Classes scale monotonically.
+	prev := 0.0
+	for _, c := range []Class{ClassS, ClassW, ClassA, ClassB, ClassC} {
+		if c.Scale() <= prev {
+			t.Errorf("class %s scale %f not above previous", c, c.Scale())
+		}
+		prev = c.Scale()
+	}
+}
+
+func TestSquareRanks(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{128, 121}, {121, 121}, {16, 16}, {17, 16}, {1, 1}, {3, 1}, {0, 1},
+	}
+	for _, tc := range cases {
+		if got := squareRanks(tc.in); got != tc.want {
+			t.Errorf("squareRanks(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDims3(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 32, 121, 128} {
+		px, py, pz := dims3(n)
+		if px*py*pz != n || px < py || py < pz {
+			t.Errorf("dims3(%d) = %d×%d×%d", n, px, py, pz)
+		}
+	}
+}
+
+func TestNeighbor3Inverse(t *testing.T) {
+	px, py, pz := dims3(32)
+	for rank := 0; rank < 32; rank++ {
+		for dim := 0; dim < 3; dim++ {
+			up := neighbor3(rank, dim, +1, px, py, pz)
+			back := neighbor3(up, dim, -1, px, py, pz)
+			if back != rank {
+				t.Fatalf("neighbor3 not invertible: rank %d dim %d → %d → %d", rank, dim, up, back)
+			}
+		}
+	}
+}
+
+func TestAllBenchmarksBuild(t *testing.T) {
+	for _, b := range All() {
+		for _, opts := range []compiler.Options{
+			{Level: compiler.O0},
+			{Level: compiler.O5, Arch440d: true},
+		} {
+			ranks := b.RanksFor(8)
+			app, err := b.Build(Config{Class: ClassS, Ranks: ranks, Opts: opts})
+			if err != nil {
+				t.Fatalf("%s %v: %v", b.Name, opts, err)
+			}
+			if app.Ranks != ranks || app.Body == nil || app.Kernel == nil {
+				t.Errorf("%s: malformed app", b.Name)
+			}
+		}
+	}
+}
+
+// runApp executes a benchmark on a small VNM partition and returns the job.
+func runApp(t *testing.T, name string, class Class, ranks int, opts compiler.Options) *mpi.Job {
+	t.Helper()
+	b, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks = b.RanksFor(ranks)
+	app, err := b.Build(Config{Class: class, Ranks: ranks, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := (ranks + 3) / 4
+	m := machine.New(nodes, machine.VNM, machine.DefaultParams())
+	j, err := mpi.NewJob(m, app.Ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Run(app.Body); err != nil {
+		t.Fatalf("%s run: %v", name, err)
+	}
+	return j
+}
+
+func jobMix(j *mpi.Job) isa.Mix {
+	var m isa.Mix
+	for _, n := range j.Machine().Nodes {
+		nm := n.NodeMix()
+		m.Merge(&nm)
+	}
+	return m
+}
+
+func TestAllBenchmarksRunToCompletion(t *testing.T) {
+	for _, b := range All() {
+		j := runApp(t, b.Name, ClassS, 8, compiler.Options{Level: compiler.O5, Arch440d: true})
+		m := jobMix(j)
+		if m.Total() == 0 {
+			t.Errorf("%s: no operations executed", b.Name)
+		}
+		if b.Name != "is" && m.Flops() == 0 {
+			t.Errorf("%s: no floating-point work", b.Name)
+		}
+	}
+}
+
+func TestVectorizableProfiles(t *testing.T) {
+	opts := compiler.Options{Level: compiler.O5, Arch440d: true}
+	shares := map[string]float64{}
+	for _, name := range []string{"mg", "ft", "ep", "cg", "lu", "sp", "bt"} {
+		m := jobMix(runApp(t, name, ClassS, 8, opts))
+		shares[name] = m.SIMDShare()
+	}
+	// MG and FT turn almost entirely SIMD (Figures 6-8).
+	for _, name := range []string{"mg", "ft"} {
+		if shares[name] < 0.7 {
+			t.Errorf("%s SIMD share = %.2f, want > 0.7", name, shares[name])
+		}
+	}
+	// EP and CG stay essentially scalar (CG's small vector updates are
+	// its only SIMD-izable code).
+	if shares["ep"] > 0.05 {
+		t.Errorf("ep SIMD share = %.2f, want ~0", shares["ep"])
+	}
+	if shares["cg"] > 0.25 {
+		t.Errorf("cg SIMD share = %.2f, want < 0.25", shares["cg"])
+	}
+	// LU, SP, BT have small but nonzero SIMD fractions.
+	for _, name := range []string{"lu", "sp", "bt"} {
+		if shares[name] <= 0 || shares[name] > 0.5 {
+			t.Errorf("%s SIMD share = %.2f, want in (0, 0.5]", name, shares[name])
+		}
+	}
+}
+
+func TestFMADominatedProfiles(t *testing.T) {
+	opts := compiler.Options{Level: compiler.O5, Arch440d: true}
+	for _, name := range []string{"ep", "cg", "lu", "sp", "bt", "is"} {
+		m := jobMix(runApp(t, name, ClassS, 8, opts))
+		fp := m.FPInstructions()
+		if fp == 0 {
+			t.Errorf("%s: no FP instructions", name)
+			continue
+		}
+		if frac := float64(m[isa.FPFMA]) / float64(fp); frac < 0.4 {
+			t.Errorf("%s: scalar FMA fraction %.2f, want ≥ 0.4 (Figure 6)", name, frac)
+		}
+	}
+}
+
+func TestBaselineHasNoSIMDAnywhere(t *testing.T) {
+	for _, name := range []string{"mg", "ft"} {
+		m := jobMix(runApp(t, name, ClassS, 8, compiler.Options{Level: compiler.O0}))
+		if m.SIMDInstructions() != 0 {
+			t.Errorf("%s baseline emitted SIMD", name)
+		}
+	}
+}
+
+func TestFootprintScalesWithClass(t *testing.T) {
+	for _, b := range All() {
+		if b.Name == "ep" {
+			continue // EP's table/bucket footprint is class independent
+		}
+		appS, err := b.Build(Config{Class: ClassS, Ranks: 8, Opts: compiler.Options{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appB, err := b.Build(Config{Class: ClassB, Ranks: 8, Opts: compiler.Options{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if appB.Kernel.FootprintBytes() <= appS.Kernel.FootprintBytes() {
+			t.Errorf("%s: class B footprint %d not above class S %d",
+				b.Name, appB.Kernel.FootprintBytes(), appS.Kernel.FootprintBytes())
+		}
+	}
+}
+
+func TestFootprintScalesInverselyWithRanks(t *testing.T) {
+	b, _ := ByName("ft")
+	app32, _ := b.Build(Config{Class: ClassC, Ranks: 32, Opts: compiler.Options{}})
+	app128, _ := b.Build(Config{Class: ClassC, Ranks: 128, Opts: compiler.Options{}})
+	if app32.Kernel.FootprintBytes() <= app128.Kernel.FootprintBytes() {
+		t.Error("fixed total problem: fewer ranks must mean larger per-rank footprint")
+	}
+}
+
+func TestClassCFootprintsInL3Regime(t *testing.T) {
+	// At class C / 128 ranks the per-rank footprints must put a 4-rank
+	// node near the 4MB L3 point (the Figure 11/12 regime): suite
+	// average in [0.7, 2.6] MB, with FT and IS the largest.
+	var sum uint64
+	foot := map[string]uint64{}
+	for _, b := range All() {
+		app, err := b.Build(Config{Class: ClassC, Ranks: b.RanksFor(128), Opts: compiler.Options{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		foot[b.Name] = app.Kernel.FootprintBytes()
+		sum += app.Kernel.FootprintBytes()
+	}
+	avg := float64(sum) / 8 / (1 << 20)
+	if avg < 0.7 || avg > 2.6 {
+		t.Errorf("average class-C footprint %.2f MB outside the L3 regime", avg)
+	}
+	for _, name := range []string{"mg", "ep", "cg", "lu", "sp", "bt"} {
+		if foot[name] >= foot["ft"] {
+			t.Errorf("%s footprint %d not below ft %d", name, foot[name], foot["ft"])
+		}
+	}
+	if foot["ep"] > 1<<20 {
+		t.Errorf("ep footprint %d must be cache resident", foot["ep"])
+	}
+}
+
+func TestDeterministicBenchmarkRun(t *testing.T) {
+	run := func() uint64 {
+		j := runApp(t, "mg", ClassS, 8, compiler.Options{Level: compiler.O3})
+		var total uint64
+		for _, n := range j.Machine().Nodes {
+			total += n.DDRTrafficLines()
+			for _, c := range n.Cores {
+				total += c.Cycles
+			}
+		}
+		return total
+	}
+	if run() != run() {
+		t.Error("benchmark run not deterministic")
+	}
+}
+
+func TestSPandBTUseSquareGrids(t *testing.T) {
+	for _, name := range []string{"sp", "bt"} {
+		b, _ := ByName(name)
+		if got := b.RanksFor(128); got != 121 {
+			t.Errorf("%s.RanksFor(128) = %d, want 121 (the paper's count)", name, got)
+		}
+		// Build with non-square request must round down internally.
+		app, err := b.Build(Config{Class: ClassS, Ranks: 128, Opts: compiler.Options{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if app.Ranks != 121 {
+			t.Errorf("%s built with %d ranks, want 121", name, app.Ranks)
+		}
+	}
+}
+
+func TestCommunicationShapes(t *testing.T) {
+	// FT and IS are all-to-all benchmarks: every node pair exchanges
+	// traffic. MG is neighbour-dominated.
+	jFT := runApp(t, "ft", ClassS, 16, compiler.Options{Level: compiler.O3})
+	n0 := jFT.Machine().Nodes[0]
+	if n0.Torus.SendPackets == 0 {
+		t.Error("ft sent no torus traffic")
+	}
+	jMG := runApp(t, "mg", ClassS, 16, compiler.Options{Level: compiler.O3})
+	mgCol := jMG.Machine().Nodes[0].Collective
+	if mgCol.Reduces == 0 {
+		t.Error("mg performed no reductions")
+	}
+	jLU := runApp(t, "lu", ClassS, 16, compiler.Options{Level: compiler.O3})
+	if jLU.Machine().Nodes[0].Torus.SendPackets == 0 {
+		t.Error("lu pipeline sent no messages")
+	}
+}

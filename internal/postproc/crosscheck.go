@@ -1,0 +1,133 @@
+package postproc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter cross-checks — the "sanity checks ... to eliminate possible
+// errors in the data" of the paper's §IV, taken further: hardware event
+// identities that must hold between independently counted events. A
+// violation means a corrupt dump, a miswired signal, or an instrumentation
+// bug; the checks are tolerant of the even/odd mode split (an identity is
+// only evaluated where all of its terms were monitored together).
+
+// CheckResult is one identity's outcome for one set.
+type CheckResult struct {
+	// Set is the instrumented region checked.
+	Set int
+	// Name identifies the identity.
+	Name string
+	// OK reports whether the identity held.
+	OK bool
+	// Detail explains a violation (or summarizes the checked values).
+	Detail string
+}
+
+// CrossCheck evaluates the counter identities over every set of the
+// analysis and returns one result per (set, identity); identities whose
+// terms were not co-monitored anywhere are skipped.
+func CrossCheck(a *Analysis) []CheckResult {
+	var out []CheckResult
+	setIDs := make([]int, 0, len(a.Sets))
+	for id := range a.Sets {
+		setIDs = append(setIDs, id)
+	}
+	sort.Ints(setIDs)
+	for _, id := range setIDs {
+		out = append(out, crossCheckSet(a, id)...)
+	}
+	return out
+}
+
+func crossCheckSet(a *Analysis, set int) []CheckResult {
+	var out []CheckResult
+	ev := func(name string) (Stats, bool) {
+		s := a.Event(set, name)
+		return s, s.Nodes > 0
+	}
+	add := func(name string, ok bool, detail string) {
+		out = append(out, CheckResult{Set: set, Name: name, OK: ok, Detail: detail})
+	}
+
+	// Identity 1: every memory instruction hits or misses the L1 —
+	// L1D_HIT + L1D_MISS == LOAD + STORE + QUADLOAD + QUADSTORE.
+	// All six events live in the aggregate mode, so sums are aligned.
+	if l1h, ok1 := ev("BGP_NODE_L1D_HIT"); ok1 {
+		l1m, _ := ev("BGP_NODE_L1D_MISS")
+		var mem uint64
+		for _, n := range []string{"BGP_NODE_LOAD", "BGP_NODE_STORE", "BGP_NODE_QUADLOAD", "BGP_NODE_QUADSTORE"} {
+			s, _ := ev(n)
+			mem += s.Sum
+		}
+		got := l1h.Sum + l1m.Sum
+		add("l1-accesses-equal-memory-ops", got == mem,
+			fmt.Sprintf("L1 hit+miss = %d, memory instructions = %d", got, mem))
+	}
+
+	// Identity 2: the prefetch buffer is probed exactly once per L1 miss
+	// — L2_PF_HIT + L2_MISS == L1D_MISS.
+	if l2h, ok := ev("BGP_NODE_L2_PF_HIT"); ok {
+		l2m, _ := ev("BGP_NODE_L2_MISS")
+		l1m, _ := ev("BGP_NODE_L1D_MISS")
+		got := l2h.Sum + l2m.Sum
+		add("l2-probes-equal-l1-misses", got == l1m.Sum,
+			fmt.Sprintf("L2 hit+miss = %d, L1 misses = %d", got, l1m.Sum))
+	}
+
+	// Identity 3: snoops are either filtered or forwarded; forwarded
+	// probes can invalidate at most once each —
+	// FILTERED ≤ REQUESTS and INVALIDATES ≤ REQUESTS - FILTERED.
+	if req, ok := ev("BGP_NODE_SNOOP_REQUESTS"); ok {
+		fil, _ := ev("BGP_NODE_SNOOP_FILTERED")
+		inv, _ := ev("BGP_NODE_SNOOP_INVALIDATES")
+		ok1 := fil.Sum <= req.Sum && inv.Sum <= req.Sum-fil.Sum
+		add("snoop-accounting", ok1,
+			fmt.Sprintf("requests %d, filtered %d, invalidates %d", req.Sum, fil.Sum, inv.Sum))
+	}
+
+	// Identity 4: torus conservation — machine-wide sent equals received
+	// (both packets and bytes). Send counters live in Mode0/Mode3,
+	// receive in Mode1/Mode3; only the Mode3 nodes see both, so compare
+	// means over co-monitoring nodes machine-wide via estimates with a
+	// tolerance, or exactly when both were monitored everywhere.
+	if sp, ok := ev("BGP_TORUS_SEND_PACKETS"); ok {
+		rp, ok2 := ev("BGP_TORUS_RECV_PACKETS")
+		if ok2 && sp.Nodes == a.TotalNodes && rp.Nodes == a.TotalNodes {
+			add("torus-packet-conservation", sp.Sum == rp.Sum,
+				fmt.Sprintf("sent %d, received %d", sp.Sum, rp.Sum))
+		}
+	}
+
+	// Identity 5: collective symmetry — every node of a partition takes
+	// part in every barrier, so per-node min == max.
+	if bar, ok := ev("BGP_COL_BARRIER"); ok {
+		add("barrier-participation-symmetric", bar.Min == bar.Max,
+			fmt.Sprintf("per-node barriers min %d, max %d", bar.Min, bar.Max))
+	}
+
+	// Identity 6: cycle sanity — no core's cycle count may exceed the
+	// region's bracketing (monotonicity was validated at decode); here:
+	// the max per-core cycles is positive whenever any work was counted.
+	if sa := a.Sets[set]; sa != nil {
+		var any uint64
+		for _, s := range sa.Events {
+			any += s.Sum
+		}
+		add("work-implies-cycles", any == 0 || sa.MaxCycles > 0,
+			fmt.Sprintf("total events %d, max cycles %d", any, sa.MaxCycles))
+	}
+
+	return out
+}
+
+// Violations filters cross-check results down to the failures.
+func Violations(results []CheckResult) []CheckResult {
+	var bad []CheckResult
+	for _, r := range results {
+		if !r.OK {
+			bad = append(bad, r)
+		}
+	}
+	return bad
+}

@@ -1,0 +1,83 @@
+package postproc
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteMetricsCSV writes one row per Metrics — the per-application record
+// format the paper's tools print for spreadsheet work.
+func WriteMetricsCSV(w io.Writer, rows []*Metrics) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"label", "set", "nodes", "exec_cycles", "exec_seconds",
+		"mflops", "mflops_per_chip", "simd_share",
+		"ddr_traffic_bytes", "ddr_bandwidth_mbs", "l1_hit_rate", "l3_miss_rate",
+	}
+	header = append(header, FPClassEvents...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, m := range rows {
+		rec := []string{
+			m.Label,
+			fmt.Sprint(m.Set),
+			fmt.Sprint(m.Nodes),
+			fmt.Sprint(m.ExecCycles),
+			fmt.Sprintf("%.6f", m.ExecSeconds),
+			fmt.Sprintf("%.2f", m.MFLOPS),
+			fmt.Sprintf("%.2f", m.MFLOPSPerChip),
+			fmt.Sprintf("%.4f", m.SIMDShare),
+			fmt.Sprint(m.DDRTrafficBytes),
+			fmt.Sprintf("%.2f", m.DDRBandwidthMBs),
+			fmt.Sprintf("%.4f", m.L1HitRate),
+			fmt.Sprintf("%.4f", m.L3MissRate),
+		}
+		for _, ev := range FPClassEvents {
+			rec = append(rec, fmt.Sprintf("%.0f", m.FPMix[ev]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteStatsCSV writes the full per-counter statistics of every set: one
+// row per (set, event) with min, max, mean, monitoring-node count and sum.
+func WriteStatsCSV(w io.Writer, a *Analysis) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"set", "event", "min", "max", "mean", "nodes", "sum"}); err != nil {
+		return err
+	}
+	setIDs := make([]int, 0, len(a.Sets))
+	for id := range a.Sets {
+		setIDs = append(setIDs, id)
+	}
+	sort.Ints(setIDs)
+	for _, id := range setIDs {
+		sa := a.Sets[id]
+		names := make([]string, 0, len(sa.Events))
+		for n := range sa.Events {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			s := sa.Events[n]
+			rec := []string{
+				fmt.Sprint(id), n,
+				fmt.Sprint(s.Min), fmt.Sprint(s.Max),
+				fmt.Sprintf("%.2f", s.Mean),
+				fmt.Sprint(s.Nodes), fmt.Sprint(s.Sum),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

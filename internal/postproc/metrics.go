@@ -1,0 +1,151 @@
+package postproc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FPClassEvents lists the eight FP instruction-class mnemonics of the
+// dynamic profile (Figure 6), in presentation order.
+var FPClassEvents = []string{
+	"BGP_NODE_FPU_ADD_SUB",
+	"BGP_NODE_FPU_MULT",
+	"BGP_NODE_FPU_DIV",
+	"BGP_NODE_FPU_FMA",
+	"BGP_NODE_FPU_SIMD_ADD_SUB",
+	"BGP_NODE_FPU_SIMD_MULT",
+	"BGP_NODE_FPU_SIMD_DIV",
+	"BGP_NODE_FPU_SIMD_FMA",
+}
+
+// flopWeights maps the FP class events to flops per instruction.
+var flopWeights = map[string]float64{
+	"BGP_NODE_FPU_ADD_SUB":      1,
+	"BGP_NODE_FPU_MULT":         1,
+	"BGP_NODE_FPU_DIV":          1,
+	"BGP_NODE_FPU_FMA":          2,
+	"BGP_NODE_FPU_SIMD_ADD_SUB": 2,
+	"BGP_NODE_FPU_SIMD_MULT":    2,
+	"BGP_NODE_FPU_SIMD_DIV":     2,
+	"BGP_NODE_FPU_SIMD_FMA":     4,
+}
+
+// DDRLineBytes is the L3–DRAM transfer granule.
+const DDRLineBytes = 128
+
+// Metrics are the derived, paper-level quantities of one instrumented
+// region of one run.
+type Metrics struct {
+	// Label names the run (benchmark, build, configuration).
+	Label string
+	// Set is the instrumented region the metrics describe.
+	Set int
+	// Nodes is the partition size.
+	Nodes int
+
+	// ExecCycles is the region's execution time in cycles (the largest
+	// per-core cycle count across the machine, the paper's
+	// CYCLE_COUNT usage).
+	ExecCycles uint64
+	// ExecSeconds is ExecCycles over the clock.
+	ExecSeconds float64
+
+	// FPMix holds estimated machine-wide dynamic counts per FP class.
+	FPMix map[string]float64
+	// Flops is the weighted total floating-point operation count.
+	Flops float64
+	// MFLOPS is the machine-wide achieved rate.
+	MFLOPS float64
+	// MFLOPSPerChip is MFLOPS divided by the node count (Figure 14's
+	// quantity).
+	MFLOPSPerChip float64
+	// SIMDShare is the SIMD fraction of FP instructions (Figures 7-8).
+	SIMDShare float64
+
+	// DDRTrafficBytes is the exact machine-wide L3–DDR traffic
+	// (Figures 11-12).
+	DDRTrafficBytes uint64
+	// DDRBandwidthMBs is the achieved DDR bandwidth in MB/s.
+	DDRBandwidthMBs float64
+
+	// L1HitRate and L3MissRate summarize the cache hierarchy.
+	L1HitRate  float64
+	L3MissRate float64
+}
+
+// Compute derives the metrics of one set from a mined analysis.
+func Compute(a *Analysis, set int, label string) (*Metrics, error) {
+	sa := a.Sets[set]
+	if sa == nil {
+		known := make([]int, 0, len(a.Sets))
+		for id := range a.Sets {
+			known = append(known, id)
+		}
+		sort.Ints(known)
+		return nil, fmt.Errorf("postproc: no set %d in analysis (have %v)", set, known)
+	}
+	m := &Metrics{
+		Label:      label,
+		Set:        set,
+		Nodes:      a.TotalNodes,
+		ExecCycles: sa.MaxCycles,
+		FPMix:      make(map[string]float64, len(FPClassEvents)),
+	}
+	if a.ClockHz > 0 {
+		m.ExecSeconds = float64(m.ExecCycles) / float64(a.ClockHz)
+	}
+
+	var fpInstr, simdInstr float64
+	for _, ev := range FPClassEvents {
+		count := a.EstimatedTotal(set, ev)
+		m.FPMix[ev] = count
+		m.Flops += count * flopWeights[ev]
+		fpInstr += count
+		if isSIMDEvent(ev) {
+			simdInstr += count
+		}
+	}
+	if fpInstr > 0 {
+		m.SIMDShare = simdInstr / fpInstr
+	}
+	if m.ExecSeconds > 0 {
+		m.MFLOPS = m.Flops / m.ExecSeconds / 1e6
+		m.MFLOPSPerChip = m.MFLOPS / float64(m.Nodes)
+	}
+
+	// DDR totals appear in both counter modes, so the sums are exact.
+	reads := a.Event(set, "BGP_DDR_READ_LINES").Sum
+	writes := a.Event(set, "BGP_DDR_WRITE_LINES").Sum
+	// Guard against double counting when a node monitored both names in
+	// one mode (cannot happen with the standard wiring, but dumps are
+	// external input): normalize by the monitoring fraction.
+	if n := a.Event(set, "BGP_DDR_READ_LINES").Nodes; n > a.TotalNodes {
+		reads = reads * uint64(a.TotalNodes) / uint64(n)
+		writes = writes * uint64(a.TotalNodes) / uint64(n)
+	}
+	m.DDRTrafficBytes = (reads + writes) * DDRLineBytes
+	if m.ExecSeconds > 0 {
+		m.DDRBandwidthMBs = float64(m.DDRTrafficBytes) / m.ExecSeconds / 1e6
+	}
+
+	l1h := a.EstimatedTotal(set, "BGP_NODE_L1D_HIT")
+	l1m := a.EstimatedTotal(set, "BGP_NODE_L1D_MISS")
+	if l1h+l1m > 0 {
+		m.L1HitRate = l1h / (l1h + l1m)
+	}
+	l3h := a.EstimatedTotal(set, "BGP_L3_HIT")
+	l3m := a.EstimatedTotal(set, "BGP_L3_MISS")
+	if l3h+l3m > 0 {
+		m.L3MissRate = l3m / (l3h + l3m)
+	}
+	return m, nil
+}
+
+func isSIMDEvent(name string) bool {
+	switch name {
+	case "BGP_NODE_FPU_SIMD_ADD_SUB", "BGP_NODE_FPU_SIMD_MULT",
+		"BGP_NODE_FPU_SIMD_DIV", "BGP_NODE_FPU_SIMD_FMA":
+		return true
+	}
+	return false
+}

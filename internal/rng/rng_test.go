@@ -1,0 +1,129 @@
+package rng
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	root := New(7)
+	c1, c2 := root.Derive(1), root.Derive(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("derived streams with different ids coincide on first draw")
+	}
+	// Deriving must not perturb the parent.
+	before := New(7)
+	before.Derive(1)
+	after := New(7)
+	if before.Uint64() != after.Uint64() {
+		t.Error("Derive perturbed parent state")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	s := New(99)
+	for _, n := range []uint64{1, 2, 3, 10, 1 << 20, 1<<63 + 5} {
+		for i := 0; i < 200; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	New(0).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(-1) did not panic")
+		}
+	}()
+	New(0).Intn(-1)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Errorf("Float64 mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestUint64nRoughUniformity(t *testing.T) {
+	s := New(11)
+	const buckets = 8
+	var hist [buckets]int
+	const n = 80000
+	for i := 0; i < n; i++ {
+		hist[s.Uint64n(buckets)]++
+	}
+	want := n / buckets
+	for b, got := range hist {
+		if got < want*9/10 || got > want*11/10 {
+			t.Errorf("bucket %d count %d, want within 10%% of %d", b, got, want)
+		}
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	s := New(123)
+	ones := 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		ones += bits.OnesCount64(s.Uint64())
+	}
+	mean := float64(ones) / float64(n)
+	if mean < 31 || mean > 33 {
+		t.Errorf("mean popcount = %g, want ~32", mean)
+	}
+}
+
+func TestMul64MatchesBits(t *testing.T) {
+	f := func(x, y uint64) bool {
+		hi, lo := mul64(x, y)
+		whi, wlo := bits.Mul64(x, y)
+		return hi == whi && lo == wlo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

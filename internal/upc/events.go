@@ -1,0 +1,203 @@
+package upc
+
+import "fmt"
+
+// This file defines the canonical event catalog: the mnemonic assigned to
+// every (mode, counter index) pair the node wires. It is the contract
+// between the node's signal wiring and the post-processing tools, playing
+// the role of the predefined mnemonics that BGLperfctr/BGPperfctr give
+// users. Slots not listed are reserved and always read zero.
+
+// Event mnemonics are structured as BGP_<UNIT><n>_<EVENT> for per-unit
+// events and BGP_NODE_<EVENT> / BGP_<SUBSYS>_<EVENT> for aggregates.
+
+// Per-core detail events, in catalog order. Cores 0-1 appear in Mode0,
+// cores 2-3 in Mode1, 20 events per core.
+var coreDetailEvents = []string{
+	"CYCLES",
+	"INT_ALU",
+	"BRANCH",
+	"LOAD",
+	"STORE",
+	"QUADLOAD",
+	"QUADSTORE",
+	"FPU_ADD_SUB",
+	"FPU_MULT",
+	"FPU_DIV",
+	"FPU_FMA",
+	"FPU_SIMD_ADD_SUB",
+	"FPU_SIMD_MULT",
+	"FPU_SIMD_DIV",
+	"FPU_SIMD_FMA",
+	"L1D_HIT",
+	"L1D_MISS",
+	"L2_PF_HIT",
+	"L2_MISS",
+	"L2_PF_ISSUED",
+	"SNOOP_REQUESTS",
+	"SNOOP_FILTERED",
+	"SNOOP_INVALIDATES",
+}
+
+// CoreDetailStride is the counter-index stride between consecutive cores in
+// the detail modes; it equals len(coreDetailEvents), checked in init.
+const CoreDetailStride = 23
+
+// Node-aggregate class events in Mode2 following the four per-core cycle
+// counters; order matches isa.Class.
+var nodeClassEvents = []string{
+	"INT_ALU", "BRANCH", "LOAD", "STORE", "QUADLOAD", "QUADSTORE",
+	"FPU_ADD_SUB", "FPU_MULT", "FPU_DIV", "FPU_FMA",
+	"FPU_SIMD_ADD_SUB", "FPU_SIMD_MULT", "FPU_SIMD_DIV", "FPU_SIMD_FMA",
+}
+
+// Counter-index anchors of the catalog. The node package wires signals at
+// exactly these indexes; the postproc package reads them by name.
+const (
+	// Mode0/Mode1 layout.
+	DetailCoreBase  = 0  // two cores × CoreDetailStride events
+	DetailL3Base    = 46 // HIT, MISS, WRITEBACK of the mode's bank
+	DetailDDRBase   = 49 // READ_LINES, WRITE_LINES of the mode's controller
+	DetailTorusBase = 51 // SEND_/RECV_ PACKETS, BYTES (+HOPS in Mode1)
+
+	// Mode2 layout.
+	AggCyclesBase = 0  // PU0..PU3 cycles
+	AggClassBase  = 4  // 14 per-class node totals
+	AggL1Base     = 18 // L1D_HIT, L1D_MISS
+	AggL2Base     = 20 // L2_PF_HIT, L2_MISS, L2_PF_ISSUED
+	AggL3Base     = 23 // L3_HIT, L3_MISS, L3_WRITEBACK
+	AggDDRBase    = 26 // DDR_READ_LINES, DDR_WRITE_LINES
+	AggSnoopBase  = 28 // SNOOP_REQUESTS, SNOOP_FILTERED, SNOOP_INVALIDATES
+	AggL3PfBase   = 31 // L3_PREFETCH_ISSUED
+
+	// Mode3 layout.
+	SysCollectiveBase = 0  // COL_BCAST, COL_REDUCE, COL_BARRIER, COL_BYTES
+	SysTorusBase      = 4  // SEND_PACKETS, RECV_PACKETS, SEND_BYTES, RECV_BYTES, HOPS
+	SysL3Base         = 9  // L3 totals
+	SysDDRBase        = 12 // DDR totals
+	SysCyclesBase     = 14 // PU0..PU3 cycles
+	SysL3PfBase       = 18 // L3_PREFETCH_ISSUED
+)
+
+var (
+	eventNames   = make(map[EventID]string)
+	eventsByName = make(map[string][]EventID)
+)
+
+func defineEvent(m Mode, index int, name string) {
+	id := MakeEventID(m, index)
+	if _, dup := eventNames[id]; dup {
+		panic(fmt.Sprintf("upc: duplicate event definition at %v index %d", m, index))
+	}
+	eventNames[id] = name
+	eventsByName[name] = append(eventsByName[name], id)
+}
+
+func init() {
+	if len(coreDetailEvents) != CoreDetailStride {
+		panic("upc: CoreDetailStride out of sync with coreDetailEvents")
+	}
+	// Detail modes: Mode0 carries cores 0-1, Mode1 carries cores 2-3.
+	for pair, mode := range []Mode{Mode0, Mode1} {
+		for slot := 0; slot < 2; slot++ {
+			core := pair*2 + slot
+			for i, ev := range coreDetailEvents {
+				defineEvent(mode, DetailCoreBase+slot*CoreDetailStride+i,
+					fmt.Sprintf("BGP_PU%d_%s", core, ev))
+			}
+		}
+		bank := pair
+		for i, ev := range []string{"HIT", "MISS", "WRITEBACK"} {
+			defineEvent(mode, DetailL3Base+i, fmt.Sprintf("BGP_L3_BANK%d_%s", bank, ev))
+		}
+		for i, ev := range []string{"READ_LINES", "WRITE_LINES"} {
+			defineEvent(mode, DetailDDRBase+i, fmt.Sprintf("BGP_DDR%d_%s", bank, ev))
+		}
+	}
+	defineEvent(Mode0, DetailTorusBase+0, "BGP_TORUS_SEND_PACKETS")
+	defineEvent(Mode0, DetailTorusBase+1, "BGP_TORUS_SEND_BYTES")
+	defineEvent(Mode1, DetailTorusBase+0, "BGP_TORUS_RECV_PACKETS")
+	defineEvent(Mode1, DetailTorusBase+1, "BGP_TORUS_RECV_BYTES")
+	defineEvent(Mode1, DetailTorusBase+2, "BGP_TORUS_HOPS")
+
+	// Mode2: node aggregates.
+	for c := 0; c < 4; c++ {
+		defineEvent(Mode2, AggCyclesBase+c, fmt.Sprintf("BGP_PU%d_CYCLES", c))
+	}
+	for i, ev := range nodeClassEvents {
+		defineEvent(Mode2, AggClassBase+i, "BGP_NODE_"+ev)
+	}
+	defineEvent(Mode2, AggL1Base+0, "BGP_NODE_L1D_HIT")
+	defineEvent(Mode2, AggL1Base+1, "BGP_NODE_L1D_MISS")
+	defineEvent(Mode2, AggL2Base+0, "BGP_NODE_L2_PF_HIT")
+	defineEvent(Mode2, AggL2Base+1, "BGP_NODE_L2_MISS")
+	defineEvent(Mode2, AggL2Base+2, "BGP_NODE_L2_PF_ISSUED")
+	for i, ev := range []string{"HIT", "MISS", "WRITEBACK"} {
+		defineEvent(Mode2, AggL3Base+i, "BGP_L3_"+ev)
+	}
+	defineEvent(Mode2, AggDDRBase+0, "BGP_DDR_READ_LINES")
+	defineEvent(Mode2, AggDDRBase+1, "BGP_DDR_WRITE_LINES")
+	for i, ev := range []string{"REQUESTS", "FILTERED", "INVALIDATES"} {
+		defineEvent(Mode2, AggSnoopBase+i, "BGP_NODE_SNOOP_"+ev)
+	}
+	defineEvent(Mode2, AggL3PfBase, "BGP_L3_PREFETCH_ISSUED")
+
+	// Mode3: system side.
+	for i, ev := range []string{"BCAST", "REDUCE", "BARRIER", "BYTES"} {
+		defineEvent(Mode3, SysCollectiveBase+i, "BGP_COL_"+ev)
+	}
+	for i, ev := range []string{"SEND_PACKETS", "RECV_PACKETS", "SEND_BYTES", "RECV_BYTES", "HOPS"} {
+		defineEvent(Mode3, SysTorusBase+i, "BGP_TORUS_"+ev)
+	}
+	for i, ev := range []string{"HIT", "MISS", "WRITEBACK"} {
+		defineEvent(Mode3, SysL3Base+i, "BGP_L3_"+ev)
+	}
+	defineEvent(Mode3, SysDDRBase+0, "BGP_DDR_READ_LINES")
+	defineEvent(Mode3, SysDDRBase+1, "BGP_DDR_WRITE_LINES")
+	for c := 0; c < 4; c++ {
+		defineEvent(Mode3, SysCyclesBase+c, fmt.Sprintf("BGP_PU%d_CYCLES", c))
+	}
+	defineEvent(Mode3, SysL3PfBase, "BGP_L3_PREFETCH_ISSUED")
+}
+
+// EventName returns the mnemonic of an event, or "BGP_RESERVED" for
+// unwired slots.
+func EventName(id EventID) string {
+	if n, ok := eventNames[id]; ok {
+		return n
+	}
+	return "BGP_RESERVED"
+}
+
+// LookupEvent returns every (mode, index) location carrying the named
+// event. Names shared between modes (e.g. BGP_DDR_READ_LINES) return
+// multiple locations.
+func LookupEvent(name string) []EventID {
+	ids := eventsByName[name]
+	out := make([]EventID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// EventIndex returns the counter index of the named event in mode m, or
+// -1 when the mode does not carry it.
+func EventIndex(m Mode, name string) int {
+	for _, id := range eventsByName[name] {
+		if id.Mode() == m {
+			return id.Index()
+		}
+	}
+	return -1
+}
+
+// DefinedEvents returns the number of wired (non-reserved) event slots.
+func DefinedEvents() int { return len(eventNames) }
+
+// AllEventNames returns the distinct mnemonics in the catalog.
+func AllEventNames() []string {
+	names := make([]string, 0, len(eventsByName))
+	for n := range eventsByName {
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,79 @@
+package upc
+
+import "fmt"
+
+// Memory-mapped register window of the UPC unit. All counters and
+// configuration registers are accessible through 8-byte aligned loads and
+// stores, which is how a single monitoring thread — running as a system
+// service or as part of the application — reads and programs the unit on
+// the real chip (the "global accessibility" feature of §I).
+const (
+	// RegCounterBase is the offset of counter 0's value register.
+	RegCounterBase = 0x0000
+	// RegConfigBase is the offset of counter 0's configuration register.
+	RegConfigBase = 0x0800
+	// RegThresholdBase is the offset of counter 0's threshold register.
+	RegThresholdBase = 0x1000
+	// RegControl is the unit-wide control register: bit 0 starts/stops
+	// counting, bits 1-2 select the counter mode.
+	RegControl = 0x1800
+	// WindowBytes is the size of the MMIO window.
+	WindowBytes = 0x1808
+
+	ctlRun      = 1 << 0
+	ctlModeLow  = 1
+	ctlModeMask = 0x3 << ctlModeLow
+)
+
+// Load64 performs an 8-byte MMIO read at offset.
+func (u *Unit) Load64(offset uint64) (uint64, error) {
+	if offset%8 != 0 || offset >= WindowBytes {
+		return 0, fmt.Errorf("upc: invalid MMIO read at %#x", offset)
+	}
+	switch {
+	case offset >= RegControl:
+		var v uint64
+		if u.running {
+			v |= ctlRun
+		}
+		v |= uint64(u.mode) << ctlModeLow
+		return v, nil
+	case offset >= RegThresholdBase:
+		return u.threshold[(offset-RegThresholdBase)/8], nil
+	case offset >= RegConfigBase:
+		return uint64(u.config[(offset-RegConfigBase)/8]), nil
+	default:
+		return u.Read(int(offset / 8)), nil
+	}
+}
+
+// Store64 performs an 8-byte MMIO write at offset. Writing a counter value
+// register sets the counter (writing 0 clears it); writing the control
+// register starts/stops the unit and selects the mode.
+func (u *Unit) Store64(offset, value uint64) error {
+	if offset%8 != 0 || offset >= WindowBytes {
+		return fmt.Errorf("upc: invalid MMIO write at %#x", offset)
+	}
+	switch {
+	case offset >= RegControl:
+		mode := Mode(value & ctlModeMask >> ctlModeLow)
+		if value&ctlRun != 0 {
+			if !u.running && mode != u.mode {
+				u.SetMode(mode)
+			}
+			u.Start()
+		} else {
+			u.Stop()
+			u.SetMode(mode)
+		}
+	case offset >= RegThresholdBase:
+		u.SetThreshold(int((offset-RegThresholdBase)/8), value)
+	case offset >= RegConfigBase:
+		u.SetConfig(int((offset-RegConfigBase)/8), uint8(value))
+	default:
+		i := int(offset / 8)
+		u.Clear(i)
+		u.accum[i] = value
+	}
+	return nil
+}
