@@ -1,0 +1,159 @@
+package bgp_test
+
+// The determinism harness of the sweep-orchestration layer. The simulator's
+// guarantee is that host-side parallelism is strictly *cross-run*: inside a
+// run the rank scheduler stays cooperative and deterministic, so executing
+// the same RunConfig serially or through the worker pool at any width must
+// produce byte-identical binary counter dumps and identical derived
+// metrics. These tests pin that guarantee per operating mode, and exercise
+// the pool under the race detector with several simulations in flight.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	bgp "bgpsim"
+)
+
+// determinismCases covers at least one benchmark in every node operating
+// mode (Figure 3), at class S so the harness stays fast.
+func determinismCases() []bgp.RunConfig {
+	return []bgp.RunConfig{
+		{Benchmark: "mg", Class: bgp.ClassS, Ranks: 4, Mode: bgp.SMP1,
+			Opts: bgp.Options{Level: bgp.O5, Arch440d: true}},
+		{Benchmark: "ft", Class: bgp.ClassS, Ranks: 2, Mode: bgp.SMP4,
+			Opts: bgp.Options{Level: bgp.O3}},
+		{Benchmark: "cg", Class: bgp.ClassS, Ranks: 4, Mode: bgp.Dual,
+			Opts: bgp.Options{Level: bgp.O4, Arch440d: true}},
+		{Benchmark: "ep", Class: bgp.ClassS, Ranks: 8, Mode: bgp.VNM,
+			Opts: bgp.Options{Level: bgp.O5, Arch440d: true}},
+	}
+}
+
+// readDumpBytes returns the raw contents of every .bgpc file in dir,
+// keyed by file name.
+func readDumpBytes(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.bgpc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatalf("no dump files in %s", dir)
+	}
+	out := make(map[string][]byte, len(names))
+	for _, name := range names {
+		blob, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(name)] = blob
+	}
+	return out
+}
+
+// TestSerialParallelDeterminism runs each configuration once through the
+// serial path and several times concurrently through the pool, and asserts
+// the binary counter dumps are byte-identical and the derived metrics
+// equal. This is the golden guarantee the parallel sweep layer rests on.
+func TestSerialParallelDeterminism(t *testing.T) {
+	const copies = 4
+	for _, cfg := range determinismCases() {
+		cfg := cfg
+		t.Run(fmt.Sprintf("%s-%v", cfg.Benchmark, cfg.Mode), func(t *testing.T) {
+			root := t.TempDir()
+
+			serialCfg := cfg
+			serialCfg.DumpDir = filepath.Join(root, "serial")
+			if err := os.MkdirAll(serialCfg.DumpDir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			serial, err := bgp.Run(serialCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := readDumpBytes(t, serialCfg.DumpDir)
+
+			// The same configuration, several copies in flight at once
+			// through the pool.
+			cfgs := make([]bgp.RunConfig, copies)
+			for i := range cfgs {
+				cfgs[i] = cfg
+				cfgs[i].DumpDir = filepath.Join(root, fmt.Sprintf("pool%d", i))
+				if err := os.MkdirAll(cfgs[i].DumpDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+			}
+			results, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{Workers: copies})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for i, res := range results {
+				got := readDumpBytes(t, cfgs[i].DumpDir)
+				if len(got) != len(want) {
+					t.Fatalf("pool copy %d wrote %d dumps, serial wrote %d", i, len(got), len(want))
+				}
+				for name, blob := range want {
+					if !bytes.Equal(blob, got[name]) {
+						t.Errorf("pool copy %d: dump %s differs from serial run", i, name)
+					}
+				}
+				if !reflect.DeepEqual(res.Metrics, serial.Metrics) {
+					t.Errorf("pool copy %d metrics differ:\nserial   %+v\nparallel %+v",
+						i, serial.Metrics, res.Metrics)
+				}
+				if res.Label != serial.Label {
+					t.Errorf("pool copy %d label %q != serial %q", i, res.Label, serial.Label)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentJobsRace floods the pool with simulations across every
+// operating mode and several benchmarks at once. Its job is to give the
+// race detector concurrent jobs touching every simulator subsystem
+// (scheduler, node, caches, networks, RNG streams); run it with
+// `go test -race`.
+func TestConcurrentJobsRace(t *testing.T) {
+	cfgs := append(determinismCases(), determinismCases()...)
+	results, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{Workers: len(cfgs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The duplicated halves are identical configurations; cross-job
+	// interleaving must not perturb either copy.
+	half := len(cfgs) / 2
+	for i := 0; i < half; i++ {
+		if !reflect.DeepEqual(results[i].Metrics, results[half+i].Metrics) {
+			t.Errorf("copies of %s/%v disagree under concurrency",
+				cfgs[i].Benchmark, cfgs[i].Mode)
+		}
+	}
+}
+
+// TestRunAllPropagatesErrors pins the pool's failure contract at the public
+// API: an invalid configuration cancels the sweep and surfaces one wrapped
+// error identifying the failed run.
+func TestRunAllPropagatesErrors(t *testing.T) {
+	cfgs := []bgp.RunConfig{
+		{Benchmark: "mg", Class: bgp.ClassS, Ranks: 4, Mode: bgp.VNM},
+		{Benchmark: "no-such-benchmark", Class: bgp.ClassS, Ranks: 4, Mode: bgp.VNM},
+	}
+	if _, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{Workers: 2}); err == nil {
+		t.Fatal("invalid benchmark did not fail the sweep")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := bgp.RunAll(ctx, cfgs[:1], bgp.SweepConfig{Workers: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context returned %v, want context.Canceled", err)
+	}
+}

@@ -24,6 +24,7 @@ func main() {
 	var (
 		class = flag.String("class", "B", "problem class")
 		ranks = flag.Int("ranks", 32, "process count")
+		jobs  = flag.Int("jobs", 0, "concurrent simulations per figure (0 = one per host core)")
 		out   = flag.String("o", "", "write the report to this file instead of stdout")
 	)
 	flag.Parse()
@@ -32,7 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := experiments.Scale{Class: cls, Ranks: *ranks}
+	s := experiments.Scale{Class: cls, Ranks: *ranks, Jobs: *jobs}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -1,17 +1,24 @@
-// Bgprun runs one NAS benchmark on a simulated Blue Gene/P partition with
+// Bgprun runs NAS benchmarks on a simulated Blue Gene/P partition with
 // the performance-counter interface library linked in, writes the per-node
 // binary counter dumps, and prints the derived whole-application metrics.
 //
 // Example — the paper's headline configuration:
 //
 //	bgprun -bench ft -class C -ranks 128 -mode VNM -opt "-O5 -qarch=440d" -dump ./dumps
+//
+// -bench accepts a comma-separated list (or "all" for the whole suite);
+// the independent runs then fan out over -jobs host workers, with dumps
+// for each benchmark in its own subdirectory. Results are identical at any
+// -jobs value and are always printed in benchmark order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	bgp "bgpsim"
@@ -24,16 +31,17 @@ func main() {
 	log.SetPrefix("bgprun: ")
 
 	var (
-		bench    = flag.String("bench", "mg", "NAS benchmark: "+strings.Join(bgp.Benchmarks(), ", "))
+		bench    = flag.String("bench", "mg", "NAS benchmarks, comma-separated or \"all\": "+strings.Join(bgp.Benchmarks(), ", "))
 		class    = flag.String("class", "A", "problem class: S, W, A, B or C")
 		ranks    = flag.Int("ranks", 32, "MPI process count (SP/BT round down to a square)")
 		mode     = flag.String("mode", "VNM", "node operating mode: SMP1, SMP4, DUAL or VNM")
 		opt      = flag.String("opt", "-O5 -qarch=440d", "compiler build, e.g. \"-O3\" or \"-O5 -qarch=440d\"")
 		l3MB     = flag.Int("l3", -1, "L3 size in MB per node (-1 = default 8, 0 = disabled)")
 		nodes    = flag.Int("nodes", 0, "partition size in nodes (0 = as many as the ranks need)")
+		jobs     = flag.Int("jobs", 0, "concurrent simulations for multi-benchmark runs (0 = one per host core)")
 		dumpDir  = flag.String("dump", "", "directory for per-node .bgpc counter dumps")
-		csvOut   = flag.String("csv", "", "write the metrics record to this CSV file")
-		timeline = flag.String("timeline", "", "write a periodic counter timeline to this CSV file")
+		csvOut   = flag.String("csv", "", "write the metrics records to this CSV file")
+		timeline = flag.String("timeline", "", "write a periodic counter timeline to this CSV file (single benchmark only)")
 		tlEvery  = flag.Uint64("timeline-interval", 1_000_000, "timeline sampling interval in cycles")
 		tlEvents = flag.String("timeline-events", "BGP_PU0_CYCLES,BGP_NODE_FPU_FMA,BGP_DDR_READ_LINES",
 			"comma-separated event mnemonics to sample")
@@ -52,35 +60,92 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := bgp.RunConfig{
-		Benchmark: *bench,
-		Class:     cls,
-		Ranks:     *ranks,
-		Mode:      opMode,
-		Opts:      opts,
-		Nodes:     *nodes,
-		DumpDir:   *dumpDir,
-	}
-	switch {
-	case *l3MB == 0:
-		cfg.L3Bytes = -1
-	case *l3MB > 0:
-		cfg.L3Bytes = *l3MB << 20
-	}
-	if *dumpDir != "" {
-		if err := os.MkdirAll(*dumpDir, 0o755); err != nil {
-			log.Fatal(err)
+
+	var benches []string
+	if strings.EqualFold(strings.TrimSpace(*bench), "all") {
+		benches = bgp.Benchmarks()
+	} else {
+		for _, b := range strings.Split(*bench, ",") {
+			benches = append(benches, strings.ToLower(strings.TrimSpace(b)))
 		}
 	}
-	if *timeline != "" {
-		cfg.TimelineInterval = *tlEvery
-		cfg.TimelineEvents = strings.Split(*tlEvents, ",")
+	if *timeline != "" && len(benches) > 1 {
+		log.Fatal("-timeline supports a single benchmark")
 	}
 
-	res, err := bgp.Run(cfg)
+	cfgs := make([]bgp.RunConfig, len(benches))
+	for i, name := range benches {
+		cfg := bgp.RunConfig{
+			Benchmark: name,
+			Class:     cls,
+			Ranks:     *ranks,
+			Mode:      opMode,
+			Opts:      opts,
+			Nodes:     *nodes,
+			DumpDir:   *dumpDir,
+		}
+		switch {
+		case *l3MB == 0:
+			cfg.L3Bytes = -1
+		case *l3MB > 0:
+			cfg.L3Bytes = *l3MB << 20
+		}
+		if *dumpDir != "" {
+			if len(benches) > 1 {
+				cfg.DumpDir = filepath.Join(*dumpDir, name)
+			}
+			if err := os.MkdirAll(cfg.DumpDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *timeline != "" {
+			cfg.TimelineInterval = *tlEvery
+			cfg.TimelineEvents = strings.Split(*tlEvents, ",")
+		}
+		cfgs[i] = cfg
+	}
+
+	results, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{Workers: *jobs})
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	metrics := make([]*postproc.Metrics, len(results))
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		printRun(res, cfgs[i].DumpDir)
+		metrics[i] = res.Metrics
+	}
+
+	if *timeline != "" {
+		res := results[0]
+		f, err := os.Create(*timeline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Timeline.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("timeline CSV:     %s (%d samples)\n", *timeline, len(res.Timeline.Samples()))
+	}
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := postproc.WriteMetricsCSV(f, metrics); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics CSV:      %s\n", *csvOut)
+	}
+}
+
+func printRun(res *bgp.Result, dumpDir string) {
 	m := res.Metrics
 	fmt.Printf("run:              %s\n", res.Label)
 	fmt.Printf("nodes:            %d (%d ranks)\n", res.Config.Nodes, res.Config.Ranks)
@@ -101,32 +166,8 @@ func main() {
 		}
 		fmt.Printf("  %-28s %12.0f (%5.1f%%)\n", ev, m.FPMix[ev], 100*m.FPMix[ev]/totalFP)
 	}
-	if *dumpDir != "" {
-		fmt.Printf("dumps:            %d files in %s\n", len(res.Dumps), *dumpDir)
-	}
-
-	if *timeline != "" {
-		f, err := os.Create(*timeline)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := res.Timeline.WriteCSV(f); err != nil {
-			log.Fatal(err)
-		}
-		f.Close()
-		fmt.Printf("timeline CSV:     %s (%d samples)\n", *timeline, len(res.Timeline.Samples()))
-	}
-
-	if *csvOut != "" {
-		f, err := os.Create(*csvOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if err := postproc.WriteMetricsCSV(f, []*postproc.Metrics{m}); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("metrics CSV:      %s\n", *csvOut)
+	if dumpDir != "" {
+		fmt.Printf("dumps:            %d files in %s\n", len(res.Dumps), dumpDir)
 	}
 }
 

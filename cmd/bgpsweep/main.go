@@ -8,8 +8,14 @@
 //	bgpsweep -fig 7                 # FT SIMD instructions by build
 //	bgpsweep -fig 11 -class C -ranks 128
 //	bgpsweep -fig 12                # VNM vs SMP/1 comparison (also 13, 14)
+//	bgpsweep -fig 11 -jobs 4        # fan the sweep out over 4 host cores
 //	bgpsweep -ext prefetch          # §IX extension: L2 prefetch-depth sweep
 //	bgpsweep -ext hybrid            # §IX extension: MPI+OpenMP vs pure MPI
+//
+// Every point of a figure is an independent simulation; -jobs bounds the
+// host worker pool they fan out on (0 = one worker per host core). The
+// printed series are byte-identical at any -jobs value: parallelism is
+// strictly cross-run, and each run's rank scheduling stays deterministic.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 
 	bgp "bgpsim"
 	"bgpsim/internal/experiments"
+	"bgpsim/internal/sweep"
 )
 
 func main() {
@@ -26,10 +33,12 @@ func main() {
 	log.SetPrefix("bgpsweep: ")
 
 	var (
-		fig   = flag.Int("fig", 6, "figure to regenerate: 6, 7, 8, 9, 10, 11, 12, 13 or 14")
-		ext   = flag.String("ext", "", "extension study instead of a figure: prefetch, l3prefetch or hybrid")
-		class = flag.String("class", "B", "problem class: S, W, A, B or C")
-		ranks = flag.Int("ranks", 32, "process count (class B / 32 ranks reproduces the paper's per-rank regime)")
+		fig      = flag.Int("fig", 6, "figure to regenerate: 6, 7, 8, 9, 10, 11, 12, 13 or 14")
+		ext      = flag.String("ext", "", "extension study instead of a figure: prefetch, l3prefetch or hybrid")
+		class    = flag.String("class", "B", "problem class: S, W, A, B or C")
+		ranks    = flag.Int("ranks", 32, "process count (class B / 32 ranks reproduces the paper's per-rank regime)")
+		jobs     = flag.Int("jobs", 0, "concurrent simulations (0 = one per host core); results do not depend on it")
+		progress = flag.Bool("progress", false, "print sweep progress and throughput to stderr when done")
 	)
 	flag.Parse()
 
@@ -37,7 +46,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := experiments.Scale{Class: cls, Ranks: *ranks}
+	var tracker sweep.Progress
+	s := experiments.Scale{Class: cls, Ranks: *ranks, Jobs: *jobs}
+	if *progress {
+		s.Progress = &tracker
+		defer func() { log.Print(tracker.Snapshot()) }()
+	}
 	w := os.Stdout
 
 	switch *ext {

@@ -70,6 +70,28 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 }
 
 func (s *Session) writeDump(w io.Writer) error {
+	d := &Dump{
+		NodeID:  s.nd.ID(),
+		Mode:    s.mode,
+		ClockHz: core.ClockHz,
+		Sets:    make([]DumpSet, 0, len(s.order)),
+	}
+	for _, id := range s.order {
+		set := s.sets[id]
+		d.Sets = append(d.Sets, DumpSet{
+			ID:         set.id,
+			Pairs:      set.pairs,
+			FirstCycle: set.firstCycle,
+			LastCycle:  set.lastCycle,
+			Counts:     set.counts,
+		})
+	}
+	return d.Encode(w)
+}
+
+// Encode writes the dump in the binary file format, checksummed; it is the
+// exact inverse of ReadDump.
+func (d *Dump) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw}
 	write := func(v any) error { return binary.Write(cw, binary.BigEndian, v) }
@@ -79,25 +101,25 @@ func (s *Session) writeDump(w io.Writer) error {
 	}
 	for _, v := range []any{
 		uint32(DumpVersion),
-		uint32(s.nd.ID()),
-		uint32(s.mode),
-		uint64(core.ClockHz),
-		uint32(len(s.order)),
+		uint32(d.NodeID),
+		uint32(d.Mode),
+		d.ClockHz,
+		uint32(len(d.Sets)),
 	} {
 		if err := write(v); err != nil {
 			return err
 		}
 	}
-	for _, id := range s.order {
-		d := s.sets[id]
+	for i := range d.Sets {
+		set := &d.Sets[i]
 		for _, v := range []any{
-			uint32(d.id), d.pairs, d.firstCycle, d.lastCycle,
+			uint32(set.ID), set.Pairs, set.FirstCycle, set.LastCycle,
 		} {
 			if err := write(v); err != nil {
 				return err
 			}
 		}
-		if err := write(&d.counts); err != nil {
+		if err := write(&set.Counts); err != nil {
 			return err
 		}
 	}

@@ -9,24 +9,44 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bgpsim/internal/compiler"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/nas"
 	"bgpsim/internal/postproc"
+	"bgpsim/internal/sweep"
 
 	bgp "bgpsim"
 )
 
 // Scale selects how close to the paper's full configuration an experiment
-// runs. Full matches the paper (class C, 128 processes); Quick shrinks the
-// problem for fast iteration while preserving every shape.
+// runs, and how the host executes it. Full matches the paper (class C, 128
+// processes); Quick shrinks the problem for fast iteration while preserving
+// every shape. Every figure's points are independent simulations, so they
+// fan out over Jobs host workers; results do not depend on Jobs (see the
+// determinism harness in the root package).
 type Scale struct {
 	// Class is the NAS problem class.
 	Class nas.Class
 	// Ranks is the process count (SP/BT round down to a square).
 	Ranks int
+	// Jobs bounds the host worker pool the sweep runs on; values below 1
+	// mean one worker per host core (GOMAXPROCS).
+	Jobs int
+	// Progress, when non-nil, observes the sweep's runs and aggregates
+	// simulated-cycle throughput.
+	Progress *sweep.Progress
+}
+
+// runAll fans the configurations out over the scale's worker pool and
+// returns the results in cfgs order.
+func runAll(s Scale, cfgs []bgp.RunConfig) ([]*bgp.Result, error) {
+	return bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{
+		Workers:  s.Jobs,
+		Progress: s.Progress,
+	})
 }
 
 // FullScale is the paper's configuration: class C with 128 processes
@@ -68,20 +88,25 @@ type ProfileRow struct {
 // Fig6Profile reproduces Figure 6: the dynamic floating-point instruction
 // profile of the suite under the best build in virtual-node mode.
 func Fig6Profile(s Scale) ([]ProfileRow, error) {
-	rows := make([]ProfileRow, 0, len(SuiteNames()))
-	for _, name := range SuiteNames() {
-		res, err := bgp.Run(bgp.RunConfig{
+	names := SuiteNames()
+	cfgs := make([]bgp.RunConfig, len(names))
+	for i, name := range names {
+		cfgs[i] = bgp.RunConfig{
 			Benchmark: name,
 			Class:     s.Class,
 			Ranks:     s.Ranks,
 			Mode:      machine.VNM,
 			Opts:      BestBuild(),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig6 %s: %w", name, err)
 		}
+	}
+	results, err := runAll(s, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
+	rows := make([]ProfileRow, 0, len(names))
+	for i, res := range results {
 		row := ProfileRow{
-			Benchmark: name,
+			Benchmark: names[i],
 			Fractions: make(map[string]float64, len(postproc.FPClassEvents)),
 			Metrics:   res.Metrics,
 		}
@@ -126,37 +151,32 @@ func CompilerConfigs() []compiler.Options {
 	}
 }
 
+// compilerPoint derives a study point from a completed run.
+func compilerPoint(opts compiler.Options, m *postproc.Metrics) CompilerPoint {
+	var simd float64
+	for _, ev := range []string{
+		"BGP_NODE_FPU_SIMD_ADD_SUB", "BGP_NODE_FPU_SIMD_MULT",
+		"BGP_NODE_FPU_SIMD_DIV", "BGP_NODE_FPU_SIMD_FMA",
+	} {
+		simd += m.FPMix[ev]
+	}
+	return CompilerPoint{
+		Opts:             opts,
+		SIMDInstructions: simd,
+		SIMDShare:        m.SIMDShare,
+		ExecCycles:       m.ExecCycles,
+		MFLOPS:           m.MFLOPS,
+	}
+}
+
 // CompilerSweep runs one benchmark across the compiler study's builds
 // (Figures 7-10 are slices of its output).
 func CompilerSweep(benchmark string, s Scale) ([]CompilerPoint, error) {
-	points := make([]CompilerPoint, 0, len(CompilerConfigs()))
-	for _, opts := range CompilerConfigs() {
-		res, err := bgp.Run(bgp.RunConfig{
-			Benchmark: benchmark,
-			Class:     s.Class,
-			Ranks:     s.Ranks,
-			Mode:      machine.VNM,
-			Opts:      opts,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("compiler sweep %s %v: %w", benchmark, opts, err)
-		}
-		var simd float64
-		for _, ev := range []string{
-			"BGP_NODE_FPU_SIMD_ADD_SUB", "BGP_NODE_FPU_SIMD_MULT",
-			"BGP_NODE_FPU_SIMD_DIV", "BGP_NODE_FPU_SIMD_FMA",
-		} {
-			simd += res.Metrics.FPMix[ev]
-		}
-		points = append(points, CompilerPoint{
-			Opts:             opts,
-			SIMDInstructions: simd,
-			SIMDShare:        res.Metrics.SIMDShare,
-			ExecCycles:       res.Metrics.ExecCycles,
-			MFLOPS:           res.Metrics.MFLOPS,
-		})
+	rows, err := Fig910ExecTimes([]string{benchmark}, s)
+	if err != nil {
+		return nil, err
 	}
-	return points, nil
+	return rows[0].Points, nil
 }
 
 // ExecTimeRow is one benchmark's execution-time series across builds
@@ -172,11 +192,28 @@ type ExecTimeRow struct {
 // compiler builds for the named benchmarks (Figure 9 covers the first half
 // of the suite, Figure 10 the second).
 func Fig910ExecTimes(benchmarks []string, s Scale) ([]ExecTimeRow, error) {
-	rows := make([]ExecTimeRow, 0, len(benchmarks))
+	builds := CompilerConfigs()
+	cfgs := make([]bgp.RunConfig, 0, len(benchmarks)*len(builds))
 	for _, name := range benchmarks {
-		pts, err := CompilerSweep(name, s)
-		if err != nil {
-			return nil, err
+		for _, opts := range builds {
+			cfgs = append(cfgs, bgp.RunConfig{
+				Benchmark: name,
+				Class:     s.Class,
+				Ranks:     s.Ranks,
+				Mode:      machine.VNM,
+				Opts:      opts,
+			})
+		}
+	}
+	results, err := runAll(s, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("compiler sweep: %w", err)
+	}
+	rows := make([]ExecTimeRow, 0, len(benchmarks))
+	for i, name := range benchmarks {
+		pts := make([]CompilerPoint, len(builds))
+		for k, opts := range builds {
+			pts[k] = compilerPoint(opts, results[i*len(builds)+k].Metrics)
 		}
 		rows = append(rows, ExecTimeRow{Benchmark: name, Points: pts})
 	}
@@ -212,10 +249,10 @@ type L3Row struct {
 // 8 MB. The paper boots one process per node (SMP/1) so the per-node
 // footprint is one rank's working set.
 func Fig11L3Sweep(benchmarks []string, s Scale) ([]L3Row, error) {
-	rows := make([]L3Row, 0, len(benchmarks))
+	sizes := L3Sizes()
+	cfgs := make([]bgp.RunConfig, 0, len(benchmarks)*len(sizes))
 	for _, name := range benchmarks {
-		row := L3Row{Benchmark: name}
-		for _, l3 := range L3Sizes() {
+		for _, l3 := range sizes {
 			cfg := bgp.RunConfig{
 				Benchmark: name,
 				Class:     s.Class,
@@ -228,15 +265,23 @@ func Fig11L3Sweep(benchmarks []string, s Scale) ([]L3Row, error) {
 			} else {
 				cfg.L3Bytes = l3
 			}
-			res, err := bgp.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig11 %s L3=%d: %w", name, l3, err)
-			}
-			row.Points = append(row.Points, L3Point{
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := runAll(s, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig11: %w", err)
+	}
+	rows := make([]L3Row, 0, len(benchmarks))
+	for i, name := range benchmarks {
+		row := L3Row{Benchmark: name, Points: make([]L3Point, len(sizes))}
+		for k, l3 := range sizes {
+			m := results[i*len(sizes)+k].Metrics
+			row.Points[k] = L3Point{
 				L3Bytes:         l3,
-				DDRTrafficBytes: res.Metrics.DDRTrafficBytes,
-				MissFraction:    res.Metrics.L3MissRate,
-			})
+				DDRTrafficBytes: m.DDRTrafficBytes,
+				MissFraction:    m.L3MissRate,
+			}
 		}
 		rows = append(rows, row)
 	}
@@ -274,29 +319,32 @@ const SMPFairL3Bytes = 2 << 20
 // process count in virtual-node mode (ranks/4 nodes, full 8 MB L3) and in
 // SMP/1 mode (one rank per node, 2 MB L3).
 func Fig121314Modes(benchmarks []string, s Scale) ([]ModeRow, error) {
-	rows := make([]ModeRow, 0, len(benchmarks))
+	cfgs := make([]bgp.RunConfig, 0, 2*len(benchmarks))
 	for _, name := range benchmarks {
-		vnm, err := bgp.Run(bgp.RunConfig{
-			Benchmark: name,
-			Class:     s.Class,
-			Ranks:     s.Ranks,
-			Mode:      machine.VNM,
-			Opts:      BestBuild(),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig12-14 %s VNM: %w", name, err)
-		}
-		smp, err := bgp.Run(bgp.RunConfig{
-			Benchmark: name,
-			Class:     s.Class,
-			Ranks:     s.Ranks,
-			Mode:      machine.SMP1,
-			Opts:      BestBuild(),
-			L3Bytes:   SMPFairL3Bytes,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig12-14 %s SMP/1: %w", name, err)
-		}
+		cfgs = append(cfgs,
+			bgp.RunConfig{
+				Benchmark: name,
+				Class:     s.Class,
+				Ranks:     s.Ranks,
+				Mode:      machine.VNM,
+				Opts:      BestBuild(),
+			},
+			bgp.RunConfig{
+				Benchmark: name,
+				Class:     s.Class,
+				Ranks:     s.Ranks,
+				Mode:      machine.SMP1,
+				Opts:      BestBuild(),
+				L3Bytes:   SMPFairL3Bytes,
+			})
+	}
+	results, err := runAll(s, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig12-14: %w", err)
+	}
+	rows := make([]ModeRow, 0, len(benchmarks))
+	for i, name := range benchmarks {
+		vnm, smp := results[2*i], results[2*i+1]
 		row := ModeRow{Benchmark: name, VNM: vnm.Metrics, SMP: smp.Metrics}
 		vnmNodes := float64(vnm.Metrics.Nodes)
 		smpNodes := float64(smp.Metrics.Nodes)

@@ -7,13 +7,22 @@ package experiments
 //
 // The cheap, robust shapes run at QuickScale on every `go test`; the
 // cache- and mode-sensitive shapes need the paper's per-rank regime
-// (MidScale) and are skipped under -short.
+// (MidScale). Under -short those sweeps drop to a class-W scale-down that
+// checks structure only (point counts, orderings, physical invariants) so
+// `go test -short ./...` finishes in seconds; the quantitative bands still
+// run on the full suite at class B.
 
 import (
 	"testing"
 
 	"bgpsim/internal/compiler"
+	"bgpsim/internal/nas"
 )
+
+// shortScale is the class-W scale-down the -short variants of the slow
+// sweeps run at. The per-rank footprints are far from the paper's regime,
+// so only structural claims are asserted at this scale.
+func shortScale() Scale { return Scale{Class: nas.ClassW, Ranks: 8} }
 
 func TestFig6ProfileShapes(t *testing.T) {
 	rows, err := Fig6Profile(QuickScale())
@@ -134,7 +143,35 @@ func TestFig910ExecTimeShapes(t *testing.T) {
 
 func TestFig11L3Shapes(t *testing.T) {
 	if testing.Short() {
-		t.Skip("L3 sweep needs the paper's per-rank regime; skipped in -short")
+		// Class-W scale-down: the quantitative knees need MidScale, but
+		// the sweep's structure must hold at any scale.
+		rows, err := Fig11L3Sweep([]string{"ft", "mg"}, shortScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if len(r.Points) != len(L3Sizes()) {
+				t.Fatalf("%s: %d points, want %d", r.Benchmark, len(r.Points), len(L3Sizes()))
+			}
+			for k, p := range r.Points {
+				if p.L3Bytes != L3Sizes()[k] {
+					t.Errorf("%s point %d: L3=%d, want %d", r.Benchmark, k, p.L3Bytes, L3Sizes()[k])
+				}
+				if p.MissFraction < 0 || p.MissFraction > 1 {
+					t.Errorf("%s L3=%d: miss fraction %f out of range", r.Benchmark, p.L3Bytes, p.MissFraction)
+				}
+				if k > 0 && p.DDRTrafficBytes > r.Points[k-1].DDRTrafficBytes {
+					t.Errorf("%s: traffic grew from L3=%d to L3=%d", r.Benchmark, r.Points[k-1].L3Bytes, p.L3Bytes)
+				}
+			}
+			if r.Points[0].MissFraction != 0 {
+				t.Errorf("%s: miss fraction %f with the L3 disabled", r.Benchmark, r.Points[0].MissFraction)
+			}
+			if r.Points[1].DDRTrafficBytes >= r.Points[0].DDRTrafficBytes {
+				t.Errorf("%s: a 2MB L3 did not reduce DDR traffic", r.Benchmark)
+			}
+		}
+		return
 	}
 	rows, err := Fig11L3Sweep(SuiteNames(), MidScale())
 	if err != nil {
@@ -172,7 +209,25 @@ func TestFig11L3Shapes(t *testing.T) {
 
 func TestFig121314ModeShapes(t *testing.T) {
 	if testing.Short() {
-		t.Skip("mode comparison needs the paper's per-rank regime; skipped in -short")
+		// Class-W scale-down: only the directional claims survive below
+		// the paper's per-rank regime (tiny working sets make the
+		// per-chip gain graze the 4-core corner).
+		rows, err := Fig121314Modes([]string{"ft", "ep"}, shortScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.TrafficRatio <= 1 || r.TrafficRatio > 8 {
+				t.Errorf("%s: per-node traffic ratio %.2f, want VNM above SMP/1", r.Benchmark, r.TrafficRatio)
+			}
+			if r.SlowdownPct < -50 || r.SlowdownPct > 120 {
+				t.Errorf("%s: slowdown %.1f%% implausible", r.Benchmark, r.SlowdownPct)
+			}
+			if r.MFLOPSPerChipGain <= 1 || r.MFLOPSPerChipGain > 4.5 {
+				t.Errorf("%s: MFLOPS/chip gain %.2f outside (1, 4.5]", r.Benchmark, r.MFLOPSPerChipGain)
+			}
+		}
+		return
 	}
 	rows, err := Fig121314Modes(SuiteNames(), MidScale())
 	if err != nil {

@@ -44,11 +44,11 @@ type PrefetchRow struct {
 // demand streams the L2 engines can cover speed up with depth until the
 // prefetches start evicting each other.
 func PrefetchSweep(benchmarks []string, s Scale) ([]PrefetchRow, error) {
-	rows := make([]PrefetchRow, 0, len(benchmarks))
+	depths := PrefetchDepths()
+	cfgs := make([]bgp.RunConfig, 0, len(benchmarks)*len(depths))
 	for _, name := range benchmarks {
-		row := PrefetchRow{Benchmark: name}
-		for _, depth := range PrefetchDepths() {
-			res, err := bgp.Run(bgp.RunConfig{
+		for _, depth := range depths {
+			cfgs = append(cfgs, bgp.RunConfig{
 				Benchmark:       name,
 				Class:           s.Class,
 				Ranks:           s.Ranks,
@@ -56,21 +56,29 @@ func PrefetchSweep(benchmarks []string, s Scale) ([]PrefetchRow, error) {
 				Opts:            BestBuild(),
 				L2PrefetchDepth: depth,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("prefetch sweep %s depth=%d: %w", name, depth, err)
-			}
+		}
+	}
+	results, err := runAll(s, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("prefetch sweep: %w", err)
+	}
+	rows := make([]PrefetchRow, 0, len(benchmarks))
+	for i, name := range benchmarks {
+		row := PrefetchRow{Benchmark: name, Points: make([]PrefetchPoint, len(depths))}
+		for k, depth := range depths {
+			res := results[i*len(depths)+k]
 			hits := res.Analysis.EstimatedTotal(0, "BGP_NODE_L2_PF_HIT")
 			misses := res.Analysis.EstimatedTotal(0, "BGP_NODE_L2_MISS")
 			var frac float64
 			if hits+misses > 0 {
 				frac = hits / (hits + misses)
 			}
-			row.Points = append(row.Points, PrefetchPoint{
+			row.Points[k] = PrefetchPoint{
 				Depth:           depth,
 				ExecCycles:      res.Metrics.ExecCycles,
 				DDRTrafficBytes: res.Metrics.DDRTrafficBytes,
 				L2HitFraction:   frac,
-			})
+			}
 		}
 		rows = append(rows, row)
 	}
@@ -114,11 +122,11 @@ func L3PrefetchDepths() []int { return []int{0, 2, 4, 8} }
 // memory-side L3 engine, which catches the wide-strided sweeps the
 // per-core L2 detectors cannot lock onto.
 func L3PrefetchSweep(benchmarks []string, s Scale) ([]PrefetchRow, error) {
-	rows := make([]PrefetchRow, 0, len(benchmarks))
+	depths := L3PrefetchDepths()
+	cfgs := make([]bgp.RunConfig, 0, len(benchmarks)*len(depths))
 	for _, name := range benchmarks {
-		row := PrefetchRow{Benchmark: name}
-		for _, depth := range L3PrefetchDepths() {
-			res, err := bgp.Run(bgp.RunConfig{
+		for _, depth := range depths {
+			cfgs = append(cfgs, bgp.RunConfig{
 				Benchmark:       name,
 				Class:           s.Class,
 				Ranks:           s.Ranks,
@@ -126,14 +134,22 @@ func L3PrefetchSweep(benchmarks []string, s Scale) ([]PrefetchRow, error) {
 				Opts:            BestBuild(),
 				L3PrefetchDepth: depth,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("l3 prefetch sweep %s depth=%d: %w", name, depth, err)
-			}
-			row.Points = append(row.Points, PrefetchPoint{
+		}
+	}
+	results, err := runAll(s, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("l3 prefetch sweep: %w", err)
+	}
+	rows := make([]PrefetchRow, 0, len(benchmarks))
+	for i, name := range benchmarks {
+		row := PrefetchRow{Benchmark: name, Points: make([]PrefetchPoint, len(depths))}
+		for k, depth := range depths {
+			res := results[i*len(depths)+k]
+			row.Points[k] = PrefetchPoint{
 				Depth:           depth,
 				ExecCycles:      res.Metrics.ExecCycles,
 				DDRTrafficBytes: res.Metrics.DDRTrafficBytes,
-			})
+			}
 		}
 		rows = append(rows, row)
 	}
@@ -182,29 +198,32 @@ type HybridRow struct {
 // the same problem on the same nodes, decomposed either into four MPI
 // ranks per node or into one rank of four threads per node.
 func HybridModes(benchmarks []string, s Scale) ([]HybridRow, error) {
-	rows := make([]HybridRow, 0, len(benchmarks))
+	cfgs := make([]bgp.RunConfig, 0, 2*len(benchmarks))
 	for _, name := range benchmarks {
-		vnm, err := bgp.Run(bgp.RunConfig{
-			Benchmark: name,
-			Class:     s.Class,
-			Ranks:     s.Ranks,
-			Mode:      machine.VNM,
-			Opts:      BestBuild(),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("hybrid %s VNM: %w", name, err)
-		}
-		// Same node count, a quarter of the ranks, four threads each.
-		smp4, err := bgp.Run(bgp.RunConfig{
-			Benchmark: name,
-			Class:     s.Class,
-			Ranks:     s.Ranks / machine.VNM.RanksPerNode(),
-			Mode:      machine.SMP4,
-			Opts:      BestBuild(),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("hybrid %s SMP/4: %w", name, err)
-		}
+		cfgs = append(cfgs,
+			bgp.RunConfig{
+				Benchmark: name,
+				Class:     s.Class,
+				Ranks:     s.Ranks,
+				Mode:      machine.VNM,
+				Opts:      BestBuild(),
+			},
+			// Same node count, a quarter of the ranks, four threads each.
+			bgp.RunConfig{
+				Benchmark: name,
+				Class:     s.Class,
+				Ranks:     s.Ranks / machine.VNM.RanksPerNode(),
+				Mode:      machine.SMP4,
+				Opts:      BestBuild(),
+			})
+	}
+	results, err := runAll(s, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	rows := make([]HybridRow, 0, len(benchmarks))
+	for i, name := range benchmarks {
+		vnm, smp4 := results[2*i], results[2*i+1]
 		row := HybridRow{Benchmark: name, VNM: vnm.Metrics, SMP4: smp4.Metrics}
 		if vnm.Metrics.ExecCycles > 0 {
 			row.TimeRatio = float64(smp4.Metrics.ExecCycles) / float64(vnm.Metrics.ExecCycles)

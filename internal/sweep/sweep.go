@@ -1,0 +1,130 @@
+// Package sweep is the host-side orchestration layer for parameter sweeps:
+// the paper's figures are collections of *independent* simulations (one per
+// benchmark × build × L3 size × operating mode), and this package fans them
+// out across the host's cores with a bounded worker pool.
+//
+// The pool is deliberately dumb about what it runs: tasks are opaque
+// functions, results come back in input order, the first failure cancels
+// everything still pending (context-based), and optional hooks observe runs
+// starting and finishing. Determinism is preserved by construction — each
+// simulation owns its machine, job and RNG streams, and the pool never
+// shares state between tasks — so a parallel sweep produces byte-identical
+// counter dumps to a serial one (the determinism harness in the root
+// package proves it).
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options configures a pool invocation. The zero value runs with
+// GOMAXPROCS workers and no hooks.
+type Options struct {
+	// Workers bounds the number of tasks in flight; values below 1 mean
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// OnStart, when non-nil, is called as a worker picks up item index.
+	// It may be called concurrently from several workers.
+	OnStart func(index int)
+	// OnFinish, when non-nil, is called as item index completes with its
+	// host wall time and error (nil on success). It may be called
+	// concurrently from several workers.
+	OnFinish func(index int, wall time.Duration, err error)
+}
+
+// workers resolves the effective worker count for n items.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Map runs fn over every item with a bounded worker pool and returns the
+// results in input order. The first error cancels the context passed to
+// still-running tasks and prevents pending tasks from starting; Map then
+// waits for in-flight tasks and returns the error of the lowest-index
+// failed item (so the reported failure does not depend on scheduling).
+//
+// A nil ctx panics, as with the standard library. If ctx is cancelled
+// before or during the sweep, tasks not yet started are skipped and
+// ctx.Err() is returned unless a task error takes precedence.
+func Map[I, O any](ctx context.Context, items []I, fn func(ctx context.Context, index int, item I) (O, error), opts Options) ([]O, error) {
+	results := make([]O, len(items))
+	if len(items) == 0 {
+		return results, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu      sync.Mutex
+		errIdx  = -1
+		firstEr error
+		next    int
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= len(items) {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(len(items)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := claim()
+				if i < 0 {
+					return
+				}
+				if opts.OnStart != nil {
+					opts.OnStart(i)
+				}
+				began := time.Now()
+				out, err := fn(ctx, i, items[i])
+				if opts.OnFinish != nil {
+					opts.OnFinish(i, time.Since(began), err)
+				}
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				results[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,194 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := Map(context.Background(), items, func(_ context.Context, idx, v int) (int, error) {
+		return v * v, nil
+	}, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), nil, func(_ context.Context, _ int, _ int) (int, error) {
+		t.Fatal("fn called for empty input")
+		return 0, nil
+	}, Options{})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map(nil) = %v, %v", out, err)
+	}
+}
+
+func TestMapBoundsWorkers(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	items := make([]int, 24)
+	_, err := Map(context.Background(), items, func(_ context.Context, _ int, _ int) (int, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return 0, nil
+	}, Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+}
+
+func TestMapFirstErrorCancelsPending(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	items := make([]int, 50)
+	_, err := Map(context.Background(), items, func(ctx context.Context, idx, _ int) (int, error) {
+		ran.Add(1)
+		if idx == 3 {
+			return 0, fmt.Errorf("item 3: %w", boom)
+		}
+		// Give the failure time to land so cancellation is observable.
+		select {
+		case <-ctx.Done():
+		case <-time.After(20 * time.Millisecond):
+		}
+		return 0, nil
+	}, Options{Workers: 4})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if n := ran.Load(); n == int64(len(items)) {
+		t.Errorf("all %d tasks ran despite early failure", n)
+	}
+}
+
+func TestMapReportsLowestIndexError(t *testing.T) {
+	items := make([]int, 8)
+	_, err := Map(context.Background(), items, func(_ context.Context, idx, _ int) (int, error) {
+		return 0, fmt.Errorf("fail %d", idx)
+	}, Options{Workers: 4})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	// Among the tasks that started, the reported failure must be the
+	// lowest-indexed one; with every task failing instantly, index 0
+	// always starts.
+	if got := err.Error(); got != "fail 0" {
+		t.Errorf("err = %q, want \"fail 0\"", got)
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	items := make([]int, 32)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var out []int
+	var err error
+	go func() {
+		defer wg.Done()
+		out, err = Map(ctx, items, func(ctx context.Context, _ int, _ int) (int, error) {
+			started.Add(1)
+			<-release
+			return 1, nil
+		}, Options{Workers: 2})
+	}()
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	wg.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Errorf("results returned despite cancellation")
+	}
+	if n := started.Load(); n >= int64(len(items)) {
+		t.Errorf("started %d tasks despite cancellation", n)
+	}
+}
+
+func TestMapHooksAndProgress(t *testing.T) {
+	var p Progress
+	opts := p.Hooks()
+	opts.Workers = 4
+	items := make([]int, 10)
+	_, err := Map(context.Background(), items, func(_ context.Context, _ int, _ int) (int, error) {
+		p.AddSimCycles(1000)
+		time.Sleep(time.Millisecond)
+		return 0, nil
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Snapshot()
+	if s.Started != len(items) || s.Finished != len(items) || s.Failed != 0 {
+		t.Errorf("snapshot = %+v, want %d started/finished", s, len(items))
+	}
+	if s.SimCycles != 10*1000 {
+		t.Errorf("sim cycles = %d, want 10000", s.SimCycles)
+	}
+	if s.Wall <= 0 || s.Elapsed <= 0 {
+		t.Errorf("timings missing: %+v", s)
+	}
+	if s.CyclesPerSec() <= 0 {
+		t.Errorf("throughput %f, want > 0", s.CyclesPerSec())
+	}
+	if !strings.Contains(s.String(), "10/10 runs done") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestProgressFailureCount(t *testing.T) {
+	var p Progress
+	opts := p.Hooks()
+	items := []int{0, 1, 2}
+	_, err := Map(context.Background(), items, func(_ context.Context, idx, _ int) (int, error) {
+		if idx == 0 {
+			return 0, errors.New("nope")
+		}
+		return 0, nil
+	}, opts)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if s := p.Snapshot(); s.Failed == 0 {
+		t.Errorf("failed = 0, want ≥ 1 (snapshot %+v)", s)
+	}
+}
+
+func TestSnapshotZeroValues(t *testing.T) {
+	var s Snapshot
+	if s.CyclesPerSec() != 0 || s.Parallelism() != 0 {
+		t.Error("zero snapshot must report zero rates")
+	}
+}

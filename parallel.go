@@ -1,0 +1,57 @@
+package bgp
+
+import (
+	"context"
+	"fmt"
+
+	"bgpsim/internal/sweep"
+)
+
+// SweepConfig configures a parallel sweep of independent runs.
+//
+// Parallelism is strictly cross-run: each simulation still executes its
+// ranks under the cooperative deterministic scheduler on one goroutine
+// chain, so every run produces exactly the counter values it would produce
+// serially — RunAll at any worker count yields byte-identical dumps and
+// metrics to a loop over Run (the determinism harness in bgp_parallel_test
+// asserts this per operating mode).
+type SweepConfig struct {
+	// Workers bounds the number of simulations in flight; values below 1
+	// mean runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when non-nil, observes runs starting and finishing and
+	// accumulates aggregate simulated-cycle throughput.
+	Progress *sweep.Progress
+	// OnResult, when non-nil, is called with each completed result. It
+	// may be called concurrently from several workers and must not
+	// mutate the result.
+	OnResult func(index int, res *Result)
+}
+
+// RunAll executes independent runs concurrently on a bounded worker pool
+// and returns the results in cfgs order. The first failure cancels runs
+// not yet started and is returned wrapped with the run's position and
+// configuration; a cancelled ctx stops the sweep the same way.
+func RunAll(ctx context.Context, cfgs []RunConfig, sc SweepConfig) ([]*Result, error) {
+	opts := sweep.Options{Workers: sc.Workers}
+	if sc.Progress != nil {
+		opts.OnStart = sc.Progress.RunStarted
+		opts.OnFinish = sc.Progress.RunFinished
+	}
+	return sweep.Map(ctx, cfgs, func(ctx context.Context, i int, cfg RunConfig) (*Result, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("run %d (%s.%s %v): %w", i, cfg.Benchmark, cfg.Class, cfg.Mode, err)
+		}
+		if sc.Progress != nil {
+			sc.Progress.AddSimCycles(res.Metrics.ExecCycles)
+		}
+		if sc.OnResult != nil {
+			sc.OnResult(i, res)
+		}
+		return res, nil
+	}, opts)
+}
