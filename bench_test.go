@@ -9,6 +9,11 @@ package bgp_test
 // BGP_BENCH_SCALE=mid for the paper's per-rank regime at a quarter of the
 // processes, or BGP_BENCH_SCALE=full for class C with 128 processes (the
 // paper's exact configuration; expect several minutes per figure).
+//
+// BGP_ENGINE=interpreter forces the reference per-trip interpreter instead
+// of the batched execution engine; scripts/bench.sh runs the figure-6
+// benchmark both ways and reports the engine speedup in BENCH_core.json.
+// The series produced are bit-identical either way (see bgp_engine_test.go).
 
 import (
 	"fmt"
@@ -24,14 +29,17 @@ import (
 )
 
 func benchScale() experiments.Scale {
+	var s experiments.Scale
 	switch os.Getenv("BGP_BENCH_SCALE") {
 	case "full":
-		return experiments.FullScale()
+		s = experiments.FullScale()
 	case "mid":
-		return experiments.MidScale()
+		s = experiments.MidScale()
 	default:
-		return experiments.QuickScale()
+		s = experiments.QuickScale()
 	}
+	s.Interpreter = os.Getenv("BGP_ENGINE") == "interpreter"
+	return s
 }
 
 // BenchmarkFig03Modes exercises the operating-mode table (Figure 3): the
@@ -73,6 +81,7 @@ func BenchmarkInterfaceOverhead(b *testing.B) {
 
 func BenchmarkFig06InstructionProfile(b *testing.B) {
 	s := benchScale()
+	var simCycles float64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Fig6Profile(s)
 		if err != nil {
@@ -81,6 +90,13 @@ func BenchmarkFig06InstructionProfile(b *testing.B) {
 		if len(rows) != 8 {
 			b.Fatalf("profile rows = %d", len(rows))
 		}
+		simCycles = 0
+		for _, r := range rows {
+			simCycles += float64(r.Metrics.ExecCycles)
+		}
+	}
+	if d := b.Elapsed().Seconds(); d > 0 {
+		b.ReportMetric(simCycles*float64(b.N)/d, "sim-cycles/s")
 	}
 }
 

@@ -125,6 +125,15 @@ type RunConfig struct {
 	// L3PrefetchDepth enables the memory-side L3 prefetch engine with
 	// the given depth (0 = disabled, the production configuration).
 	L3PrefetchDepth int
+	// Interpreter forces the reference per-trip interpreter instead of
+	// the batched execution engine. The two are bit-identical in every
+	// counter and dump; the flag exists for equivalence testing and for
+	// benchmarking the batched engine against its baseline.
+	Interpreter bool
+	// SliceCycles overrides the scheduler compute time slice (cycles a
+	// rank runs between yields); 0 keeps the default. Results do not
+	// depend on it beyond the documented rank interleaving.
+	SliceCycles uint64
 	// DumpDir, when non-empty, receives the per-node .bgpc counter
 	// files.
 	DumpDir string
@@ -184,6 +193,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.L3PrefetchDepth > 0 {
 		params.Node.L3PrefetchDepth = cfg.L3PrefetchDepth
 	}
+	params.Node.Core.Interpreter = cfg.Interpreter
 	nodes := cfg.Nodes
 	if nodes == 0 {
 		rpn := cfg.Mode.RanksPerNode()
@@ -194,6 +204,9 @@ func Run(cfg RunConfig) (*Result, error) {
 	j, err := mpi.NewJob(m, app.Ranks)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.SliceCycles > 0 {
+		j.SetSlice(cfg.SliceCycles)
 	}
 	var sampler *Sampler
 	if cfg.TimelineInterval > 0 {

@@ -22,6 +22,8 @@ import (
 	"flag"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	bgp "bgpsim"
 	"bgpsim/internal/experiments"
@@ -39,8 +41,35 @@ func main() {
 		ranks    = flag.Int("ranks", 32, "process count (class B / 32 ranks reproduces the paper's per-rank regime)")
 		jobs     = flag.Int("jobs", 0, "concurrent simulations (0 = one per host core); results do not depend on it")
 		progress = flag.Bool("progress", false, "print sweep progress and throughput to stderr when done")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	cls, err := bgp.ParseClass(*class)
 	if err != nil {

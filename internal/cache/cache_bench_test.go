@@ -43,11 +43,51 @@ func BenchmarkL3MissLRU(b *testing.B) {
 	}, 64<<20, 128)
 }
 
-func BenchmarkPrefetcherStream(b *testing.B) {
-	p := NewPrefetcher(DefaultPrefetchConfig())
+// BenchmarkCacheAccess pins the cost of the two Access outcomes in
+// isolation: a pure-hit loop (tag match, fast path) and a pure-miss loop
+// (victim selection and tag install) on the round-robin L1 geometry.
+func BenchmarkCacheAccess(b *testing.B) {
+	l1 := Config{
+		Name: "l1", SizeBytes: 32 << 10, LineBytes: 128, Ways: 16,
+		WriteBack: true, Replacement: ReplaceRoundRobin,
+	}
+	b.Run("hit", func(b *testing.B) {
+		c := New(l1)
+		c.Access(0, false)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Access(0, false)
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		c := New(l1)
+		b.ReportAllocs()
+		var addr uint64
+		for i := 0; i < b.N; i++ {
+			c.Access(addr, false)
+			addr += 128 // next line: conflict-misses forever
+		}
+	})
+}
+
+func BenchmarkCacheBulkHit(b *testing.B) {
+	c := New(Config{
+		Name: "l1", SizeBytes: 32 << 10, LineBytes: 128, Ways: 16,
+		WriteBack: true, Replacement: ReplaceRoundRobin,
+	})
+	c.Access(0, false)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, want := p.Access(uint64(i))
+		c.BulkHit(0, 64, false)
+	}
+}
+
+func BenchmarkPrefetcherStream(b *testing.B) {
+	p := NewPrefetcher(DefaultPrefetchConfig())
+	want := make([]uint64, 0, p.Depth())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, want = p.Access(uint64(i), want)
 		for _, l := range want {
 			p.Fill(l)
 		}
@@ -56,12 +96,13 @@ func BenchmarkPrefetcherStream(b *testing.B) {
 
 func BenchmarkPrefetcherRandom(b *testing.B) {
 	p := NewPrefetcher(DefaultPrefetchConfig())
+	want := make([]uint64, 0, p.Depth())
 	b.ReportAllocs()
 	x := uint64(12345)
 	for i := 0; i < b.N; i++ {
 		x ^= x << 13
 		x ^= x >> 7
 		x ^= x << 17
-		p.Access(x % (1 << 20))
+		_, want = p.Access(x%(1<<20), want)
 	}
 }

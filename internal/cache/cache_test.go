@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -177,14 +178,87 @@ func TestThrashingWorkingSetAlwaysMisses(t *testing.T) {
 	}
 }
 
+// TestBulkHitMatchesRepeatedAccess drives two identical caches — one with n
+// Access calls, one with a single BulkHit — through the same traffic and
+// requires every observable (counters, dirty state via eviction writebacks,
+// LRU victim choice) to agree afterwards.
+func TestBulkHitMatchesRepeatedAccess(t *testing.T) {
+	for _, policy := range []Replacement{ReplaceLRU, ReplaceRoundRobin} {
+		cfg := Config{
+			Name: "bulk", SizeBytes: 4 * 2 * 64, LineBytes: 64, Ways: 2,
+			WriteBack: true, Replacement: policy,
+		}
+		ref, bulk := New(cfg), New(cfg)
+		const addr, n = 0x1000, 7
+
+		ref.Access(addr, false)
+		bulk.Access(addr, false)
+		// Touch a same-set neighbour so LRU order matters afterwards.
+		ref.Access(addr+4*64, false)
+		bulk.Access(addr+4*64, false)
+
+		for i := 0; i < n; i++ {
+			ref.Access(addr, true)
+		}
+		if !bulk.BulkHit(addr, n, true) {
+			t.Fatalf("%v: BulkHit reported non-resident line", policy)
+		}
+		if ref.Hits != bulk.Hits || ref.Misses != bulk.Misses {
+			t.Errorf("%v: hits/misses = %d/%d, want %d/%d",
+				policy, bulk.Hits, bulk.Misses, ref.Hits, ref.Misses)
+		}
+		// Force an eviction in the shared set: the victim choice and the
+		// writeback of the dirty line must be identical.
+		r1 := ref.Access(addr+8*64, false)
+		r2 := bulk.Access(addr+8*64, false)
+		if r1 != r2 {
+			t.Errorf("%v: post-bulk eviction diverged: %+v vs %+v", policy, r1, r2)
+		}
+		if ref.Writebacks != bulk.Writebacks {
+			t.Errorf("%v: writebacks = %d, want %d", policy, bulk.Writebacks, ref.Writebacks)
+		}
+	}
+}
+
+func TestBulkHitNonResident(t *testing.T) {
+	c := smallCache(2, true)
+	c.Access(0x1000, false)
+	before := append([]uint64(nil), c.slab...)
+	if c.BulkHit(0x9000, 5, true) {
+		t.Fatal("BulkHit claimed a hit on an absent line")
+	}
+	if c.Hits != 0 || c.Misses != 1 {
+		t.Errorf("non-resident BulkHit mutated counters: hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if !reflect.DeepEqual(before, c.slab) {
+		t.Error("non-resident BulkHit mutated tag/replacement state")
+	}
+}
+
+func TestBulkHitZeroCount(t *testing.T) {
+	c := smallCache(2, true)
+	c.Access(0x1000, false)
+	hits := c.Hits
+	before := append([]uint64(nil), c.slab...)
+	if !c.BulkHit(0x1000, 0, true) {
+		t.Fatal("BulkHit(n=0) on resident line reported non-resident")
+	}
+	if c.Hits != hits {
+		t.Errorf("BulkHit(n=0) mutated counters: hits=%d", c.Hits)
+	}
+	if !reflect.DeepEqual(before, c.slab) {
+		t.Error("BulkHit(n=0) mutated tag/replacement state")
+	}
+}
+
 func TestPrefetcherStreamDetection(t *testing.T) {
 	p := NewPrefetcher(PrefetchConfig{NumStreams: 4, BufferLines: 8, Depth: 2})
 	// First access starts a stream; second sequential access confirms it.
-	hit, want := p.Access(100)
+	hit, want := p.Access(100, nil)
 	if hit || want != nil {
 		t.Fatalf("cold access: hit=%v want=%v", hit, want)
 	}
-	hit, want = p.Access(101)
+	hit, want = p.Access(101, make([]uint64, 0, p.Depth()))
 	if hit {
 		t.Error("unbuffered access reported hit")
 	}
@@ -193,7 +267,7 @@ func TestPrefetcherStreamDetection(t *testing.T) {
 	}
 	p.Fill(102)
 	p.Fill(103)
-	hit, _ = p.Access(102)
+	hit, _ = p.Access(102, nil)
 	if !hit {
 		t.Error("prefetched line missed")
 	}
@@ -210,10 +284,10 @@ func TestPrefetcherBufferEviction(t *testing.T) {
 	if p.Buffered() != 2 {
 		t.Fatalf("Buffered = %d, want 2", p.Buffered())
 	}
-	if hit, _ := p.Access(1); hit {
+	if hit, _ := p.Access(1, nil); hit {
 		t.Error("evicted line still buffered")
 	}
-	if hit, _ := p.Access(3); !hit {
+	if hit, _ := p.Access(3, nil); !hit {
 		t.Error("resident line missed")
 	}
 }
@@ -222,7 +296,7 @@ func TestPrefetcherRandomAccessesNeverConfirm(t *testing.T) {
 	p := NewPrefetcher(DefaultPrefetchConfig())
 	// Widely separated lines never form a stream.
 	for i := uint64(0); i < 100; i++ {
-		if _, want := p.Access(i * 1000); want != nil {
+		if _, want := p.Access(i*1000, nil); want != nil {
 			t.Fatalf("random pattern triggered prefetch of %v", want)
 		}
 	}
@@ -237,7 +311,7 @@ func TestPrefetcherMultipleConcurrentStreams(t *testing.T) {
 	bases := []uint64{0, 10000, 20000}
 	for step := uint64(0); step < 20; step++ {
 		for _, b := range bases {
-			_, want := p.Access(b + step)
+			_, want := p.Access(b+step, nil)
 			if step > 0 && len(want) == 0 {
 				t.Fatalf("stream at base %d step %d not confirmed", b, step)
 			}
@@ -253,8 +327,8 @@ func TestPrefetcherMultipleConcurrentStreams(t *testing.T) {
 
 func TestPrefetcherReset(t *testing.T) {
 	p := NewPrefetcher(DefaultPrefetchConfig())
-	p.Access(5)
-	p.Access(6)
+	p.Access(5, nil)
+	p.Access(6, nil)
 	p.Fill(7)
 	p.Reset()
 	if p.Hits != 0 || p.Misses != 0 || p.Issued != 0 || p.Buffered() != 0 {

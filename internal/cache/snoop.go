@@ -15,6 +15,14 @@ package cache
 type SnoopFilter struct {
 	tags []uint64 // line+1, 0 = empty
 	next int
+	// mask is a superset presence summary of the tag array (bit = key mod
+	// 64). A snoop whose bit is clear provably misses every tag, so the
+	// common filtered case skips the scan; a set bit still scans for an
+	// exact match. Inserts set their bit; bits of overwritten tags may
+	// linger until the periodic recompute tightens the mask again (lazy
+	// counts inserts toward it).
+	mask uint64
+	lazy int
 
 	// Requests counts snoops presented to the filter.
 	Requests uint64
@@ -41,13 +49,28 @@ func NewSnoopFilter(entries int) *SnoopFilter {
 // addresses (any byte within the line works).
 func (f *SnoopFilter) Track(addr uint64, lineBits uint) {
 	key := addr>>lineBits + 1
-	for _, t := range f.tags {
-		if t == key {
-			return
+	if f.mask&(1<<(key&63)) != 0 {
+		for _, t := range f.tags {
+			if t == key {
+				return
+			}
 		}
 	}
 	f.tags[f.next] = key
-	f.next = (f.next + 1) % len(f.tags)
+	f.mask |= 1 << (key & 63)
+	if f.lazy++; f.lazy >= 2*len(f.tags) {
+		m := uint64(0)
+		for _, t := range f.tags {
+			if t != 0 {
+				m |= 1 << (t & 63)
+			}
+		}
+		f.mask = m
+		f.lazy = 0
+	}
+	if f.next++; f.next == len(f.tags) {
+		f.next = 0
+	}
 }
 
 // Snoop presents a remote write at addr to the filter; it returns true if
@@ -56,9 +79,11 @@ func (f *SnoopFilter) Track(addr uint64, lineBits uint) {
 func (f *SnoopFilter) Snoop(addr uint64, lineBits uint) bool {
 	f.Requests++
 	key := addr>>lineBits + 1
-	for _, t := range f.tags {
-		if t == key {
-			return true
+	if f.mask&(1<<(key&63)) != 0 {
+		for _, t := range f.tags {
+			if t == key {
+				return true
+			}
 		}
 	}
 	f.Filtered++
@@ -74,5 +99,6 @@ func (f *SnoopFilter) Reset() {
 		f.tags[i] = 0
 	}
 	f.next = 0
+	f.mask, f.lazy = 0, 0
 	f.Requests, f.Filtered, f.Invalidates = 0, 0, 0
 }

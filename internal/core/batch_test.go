@@ -1,0 +1,157 @@
+package core
+
+// Property tests for the batched execution engines: slicing a program at
+// ANY sequence of cycle limits must be invisible in every architectural
+// counter. The batched engines (closed-form, line-coalesced, and the
+// tracked interpreter with residency proofs) may only accelerate the
+// accounting, never change it, and preemption can land inside any of them.
+
+import (
+	"testing"
+
+	"bgpsim/internal/isa"
+	"bgpsim/internal/rng"
+)
+
+// kernelPrograms returns one program per kernel class, each long enough
+// that random limits cut it hundreds of times.
+func kernelPrograms() map[string]*isa.Program {
+	return map[string]*isa.Program{
+		"closed-form": {
+			Name: "cf",
+			Loops: []isa.Loop{{
+				Name:  "flops",
+				Trips: 200_000,
+				Body:  []isa.Op{{Class: isa.FPFMA}, {Class: isa.FPFMA}, {Class: isa.IntALU}},
+			}},
+		},
+		"coalesced": {
+			Name:    "coal",
+			Regions: []isa.Region{{Name: "a", Size: 1 << 20}, {Name: "b", Size: 1 << 18}},
+			Loops: []isa.Loop{{
+				Name:  "stream",
+				Trips: 120_000,
+				Body: []isa.Op{
+					{Class: isa.FPFMA},
+					{Class: isa.Load, Pat: isa.Seq, Region: 0, Stride: 8},
+					{Class: isa.Store, Pat: isa.Seq, Region: 1, Stride: 16},
+				},
+			}},
+		},
+		"interp": {
+			Name:    "gather",
+			Regions: []isa.Region{{Name: "keys", Size: 1 << 20}, {Name: "counts", Size: 1 << 14}},
+			Loops: []isa.Loop{{
+				Name:  "scatter",
+				Trips: 60_000,
+				Body: []isa.Op{
+					{Class: isa.Load, Pat: isa.Seq, Region: 0, Stride: 4},
+					{Class: isa.Store, Pat: isa.Random, Region: 1},
+					{Class: isa.IntALU},
+				},
+			}},
+		},
+	}
+}
+
+// counterState flattens every architectural counter a core exposes.
+type counterState struct {
+	mix        [isa.NumClasses]uint64
+	cycles     uint64
+	l1Hits     uint64
+	l1Misses   uint64
+	l1WBs      uint64
+	l2Hits     uint64
+	lowerReads uint64
+	lowerWBs   uint64
+	lowerPref  uint64
+}
+
+func snapshot(c *Core, lower *fakeLower) counterState {
+	return counterState{
+		mix:        c.Mix,
+		cycles:     c.Cycles,
+		l1Hits:     c.L1.Hits,
+		l1Misses:   c.L1.Misses,
+		l1WBs:      c.L1.Writebacks,
+		l2Hits:     c.L2.Hits,
+		lowerReads: lower.reads,
+		lowerWBs:   lower.writes,
+		lowerPref:  lower.prefetches,
+	}
+}
+
+// TestLimitCutsAreInvisible is the engine-exactness property test: for each
+// kernel class, an uninterrupted run and runs cut at randomized cycle
+// limits must agree on every counter. Limits are drawn from mixed
+// magnitudes so cuts land inside coalesced windows, between proof resets,
+// and mid-trip in the interpreter.
+func TestLimitCutsAreInvisible(t *testing.T) {
+	for name, prog := range kernelPrograms() {
+		prog := prog
+		t.Run(name, func(t *testing.T) {
+			if err := prog.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			kind := prog.Kernel(&prog.Loops[0], LineBytes)
+			t.Logf("kernel class: %v", kind)
+
+			refLower := &fakeLower{}
+			ref := newTestCore(refLower)
+			refSt, err := Bind(prog, 1<<32, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ref.Exec(refSt, 0) || !refSt.Done() {
+				t.Fatal("uninterrupted run did not complete")
+			}
+			want := snapshot(ref, refLower)
+
+			for trial := 0; trial < 8; trial++ {
+				r := rng.New(0xC0FFEE).Derive(uint64(trial))
+				lower := &fakeLower{}
+				c := newTestCore(lower)
+				st, err := Bind(prog, 1<<32, 11)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cuts := 0
+				for !c.Exec(st, c.Cycles+1+r.Uint64n(1<<uint(8+r.Intn(12)))) {
+					if cuts++; cuts > 10_000_000 {
+						t.Fatal("bounded execution made no progress")
+					}
+				}
+				if !st.Done() {
+					t.Fatal("sliced run did not complete")
+				}
+				if got := snapshot(c, lower); got != want {
+					t.Errorf("trial %d (%d cuts): counters diverged\ngot  %+v\nwant %+v",
+						trial, cuts, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelClassesCovered pins that the three test programs actually
+// exercise three distinct engines — if the classifier changes, this fails
+// loudly instead of silently collapsing the property test onto one path.
+func TestKernelClassesCovered(t *testing.T) {
+	progs := kernelPrograms()
+	got := map[isa.KernelKind]string{}
+	for name, p := range progs {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		k := p.Kernel(&p.Loops[0], LineBytes)
+		if prev, dup := got[k]; dup {
+			t.Errorf("%s and %s both classify as %v", prev, name, k)
+		}
+		got[k] = name
+	}
+	for _, k := range []isa.KernelKind{isa.KernelClosedForm, isa.KernelCoalesced, isa.KernelInterp} {
+		if _, ok := got[k]; !ok {
+			t.Errorf("no test program classifies as %v", k)
+		}
+	}
+}

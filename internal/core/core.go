@@ -55,6 +55,12 @@ type Params struct {
 	DivOccupancy uint64
 	// BranchOverhead is the extra issue cost per branch.
 	BranchOverhead uint64
+	// Interpreter forces the reference per-trip interpreter for every
+	// program executed on the core, bypassing the batched execution
+	// engine. Both engines produce bit-identical counters, cycles, and
+	// cache state; the flag exists so equivalence suites and debugging
+	// sessions can diff them.
+	Interpreter bool
 }
 
 // DefaultParams returns PPC450-like parameters: 32 KB 16-way L1 with
@@ -96,6 +102,10 @@ type Core struct {
 	// Cycles is the free-running cycle counter; it doubles as the
 	// chip's Time Base register for this core.
 	Cycles uint64
+
+	// want is the reusable prefetch-proposal buffer handed to the L2
+	// prefetcher on every L1 miss.
+	want []uint64
 }
 
 // New creates core id above the given memory system.
@@ -104,7 +114,7 @@ func New(id int, params Params, lower Lower) *Core {
 		panic("core: nil lower memory system")
 	}
 	params.L1.Name = fmt.Sprintf("L1D.%d", id)
-	return &Core{
+	c := &Core{
 		id:     id,
 		params: params,
 		lower:  lower,
@@ -112,6 +122,8 @@ func New(id int, params Params, lower Lower) *Core {
 		L2:     cache.NewPrefetcher(params.Prefetch),
 		Snoop:  cache.NewSnoopFilter(cache.SnoopFilterEntries),
 	}
+	c.want = make([]uint64, 0, c.L2.Depth())
+	return c
 }
 
 // ID returns the core index on its node.
@@ -151,8 +163,57 @@ type ExecState struct {
 	cursors []int64 // per-op region offsets of the current loop
 
 	issue   uint64 // precomputed issue cycles per trip of current loop
+	kind    isa.KernelKind
+	memops  []memOp // memory ops of the current loop, in body order
+	interp  bool    // WithInterpreter: force the per-trip interpreter
 	prepped bool
 	done    bool
+}
+
+// memOp is the batched engine's per-memory-op view of the current loop.
+type memOp struct {
+	oi     int    // index into the loop body (and the cursor array)
+	stride int64  // per-trip address increment, reduced mod size
+	size   int64  // region extent in bytes
+	base   uint64 // region base address
+	store  bool
+	single bool // the whole region fits in one cache line
+	track  bool // line-coalescible: eligible for hit tracking (runTracked)
+
+	// Hit-tracking state of the tracked interpreter (valid within one Exec
+	// slice only; see runTracked).
+	line  uint64 // the op's current resident L1 line
+	left  int64  // trips left on that line
+	pend  uint64 // deferred hit count, flushed into L1.Hits at slice end
+	valid bool   // line is known resident
+
+	// Region-residency proof for the op's non-coalescible accesses
+	// (random gathers/scatters and cross-line strides; see runTracked):
+	// res holds one bit per region line, set when the op's own access this
+	// slice left the line resident — and, for a store op, its dirty bit
+	// set — with no later miss having evicted it. An access to a proven
+	// line is a pure L1 hit by construction. Only built for regions up to
+	// maxResLines lines; larger regions miss too often for the proof to
+	// pay for its upkeep.
+	res      []uint64
+	baseLine uint64 // region base line number (base >> lineShift)
+	lines    uint64 // region length in lines
+}
+
+// maxResLines bounds the regions the residency-proof bitmask covers
+// (2 MB of region per 4 KB of mask); beyond it the mask's slice-entry
+// clear and per-victim upkeep outweigh the dwindling proven-hit rate.
+const maxResLines = 1 << 14
+
+// An Option adjusts how a bound program executes.
+type Option func(*ExecState)
+
+// WithInterpreter forces the reference per-trip interpreter for this
+// binding, bypassing the batched execution engine. The engines are
+// bit-exact against each other; the escape hatch exists for equivalence
+// testing and for debugging suspected engine divergence.
+func WithInterpreter() Option {
+	return func(st *ExecState) { st.interp = true }
 }
 
 // Done reports whether the program has run to completion.
@@ -178,8 +239,8 @@ func (s *ExecState) Program() *isa.Program { return s.prog }
 // Bind lays the program's regions out in a rank's address space starting at
 // base (aligned up to a line boundary) and returns a fresh execution cursor.
 // The seed determines the random-access streams.
-func Bind(p *isa.Program, base uint64, seed uint64) (*ExecState, error) {
-	return BindShard(p, base, seed, 0, 1)
+func Bind(p *isa.Program, base uint64, seed uint64, opts ...Option) (*ExecState, error) {
+	return BindShard(p, base, seed, 0, 1, opts...)
 }
 
 // BindShard binds the program like Bind but restricts execution to shard
@@ -187,7 +248,7 @@ func Bind(p *isa.Program, base uint64, seed uint64) (*ExecState, error) {
 // contiguous chunks, with sequential address streams offset accordingly.
 // All shards of one program share the same region layout, so threads of a
 // parallel region operate on the same arrays.
-func BindShard(p *isa.Program, base, seed uint64, shard, nshards int) (*ExecState, error) {
+func BindShard(p *isa.Program, base, seed uint64, shard, nshards int, opts ...Option) (*ExecState, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -209,6 +270,9 @@ func BindShard(p *isa.Program, base, seed uint64, shard, nshards int) (*ExecStat
 	if len(p.Loops) == 0 {
 		st.done = true
 	}
+	for _, opt := range opts {
+		opt(st)
+	}
 	return st, nil
 }
 
@@ -224,30 +288,44 @@ func FootprintBytes(p *isa.Program) uint64 {
 // Exec advances the bound program on this core until it completes or the
 // core's cycle counter reaches limit (limit 0 means run to completion).
 // It reports whether the program completed.
+//
+// Execution is batched by default: at loop preparation time each loop is
+// classified into a kernel (see isa.KernelKind), and whole trip ranges are
+// charged at once wherever per-trip behaviour is provably periodic —
+// closed-form stepping for loops without memory ops, line-coalesced cache
+// accounting for sub-line strided streams, and the per-trip interpreter
+// for everything else. The batching is exact: counters, cycles, cache and
+// prefetcher state, and the trip at which a limit preempts execution are
+// bit-identical to interpreted execution (Params.Interpreter or
+// WithInterpreter select the interpreter to verify exactly that).
 func (c *Core) Exec(st *ExecState, limit uint64) bool {
 	if st.done {
 		return true
 	}
+	// The batched engines' deferred-hit accounting assumes the PPC450's
+	// round-robin L1 (hits touch no replacement state); any other policy
+	// takes the always-exact interpreter.
+	interp := st.interp || c.params.Interpreter ||
+		c.params.L1.Replacement != cache.ReplaceRoundRobin
 	p := st.prog
 	for st.loop < len(p.Loops) {
 		l := &p.Loops[st.loop]
 		if !st.prepped {
 			c.prepLoop(st, l)
 		}
-		for st.trip < st.tripEnd {
-			if limit > 0 && c.Cycles >= limit {
-				return false
-			}
-			c.Cycles += st.issue
-			for oi := range l.Body {
-				op := &l.Body[oi]
-				c.Mix[op.Class]++
-				if op.Class.IsMem() {
-					addr := st.nextAddr(oi, op)
-					c.Cycles += c.access(addr, op.Class.IsStore())
-				}
-			}
-			st.trip++
+		var finished bool
+		switch {
+		case interp:
+			finished = c.runTrips(st, l, limit)
+		case st.kind == isa.KernelClosedForm:
+			finished = c.runClosedForm(st, l, limit)
+		case st.kind == isa.KernelInterp:
+			finished = c.runTracked(st, l, limit)
+		default:
+			finished = c.runCoalesced(st, l, limit)
+		}
+		if !finished {
+			return false
 		}
 		st.loop++
 		st.trip = 0
@@ -257,8 +335,349 @@ func (c *Core) Exec(st *ExecState, limit uint64) bool {
 	return true
 }
 
-// prepLoop precomputes the per-trip issue cost of a loop and resets the
-// per-op address cursors.
+// runTrips is the reference per-trip interpreter: it re-walks the loop
+// body once per trip. All batched kernels are defined as exact
+// accelerations of this loop.
+func (c *Core) runTrips(st *ExecState, l *isa.Loop, limit uint64) bool {
+	for st.trip < st.tripEnd {
+		if limit > 0 && c.Cycles >= limit {
+			return false
+		}
+		c.step(st, l)
+	}
+	return true
+}
+
+// step executes one loop trip exactly as the interpreter defines it.
+func (c *Core) step(st *ExecState, l *isa.Loop) {
+	c.Cycles += st.issue
+	for oi := range l.Body {
+		op := &l.Body[oi]
+		c.Mix[op.Class]++
+		if op.Class.IsMem() {
+			addr := st.nextAddr(oi, op)
+			c.Cycles += c.access(addr, op.Class.IsStore())
+		}
+	}
+	st.trip++
+}
+
+// runTracked is the accelerated interpreter for loops the coalesced kernel
+// cannot take whole — loops with random or cross-line memory ops. Those ops
+// pay a real access every trip, but the loop's line-coalescible ops mostly
+// re-hit the line they are already on; runTracked proves those hits without
+// consulting the cache. After an op's real access its line is resident
+// (write-allocate), and it stays resident until some later miss evicts it —
+// which accessTracked watches for by comparing every victim against the
+// tracked lines. While an op is on a known-resident line, its "access"
+// reduces to a cursor add and a deferred-hit count.
+//
+// The deferral is exact because the L1 is round-robin: a hit touches only
+// the Hits counter (order-free) and the dirty bit, and the dirty bit is
+// already set by the op's own line-entry access (same store flag). Deferred
+// hits are flushed before every return, so any observer between Exec
+// slices (UPC sampling, dumps, snoops) sees interpreter-identical state.
+// Tracking never survives a slice boundary — snoop invalidations happen
+// between slices, so every slice re-proves residency with a real access.
+func (c *Core) runTracked(st *ExecState, l *isa.Loop, limit uint64) bool {
+	for i := range st.memops {
+		m := &st.memops[i]
+		m.valid = false
+		m.pend = 0
+		for j := range m.res {
+			m.res[j] = 0
+		}
+	}
+	trip0 := st.trip
+	for st.trip < st.tripEnd {
+		if limit > 0 && c.Cycles >= limit {
+			c.flushTracked(st, l, uint64(st.trip-trip0))
+			return false
+		}
+		c.Cycles += st.issue
+		for i := range st.memops {
+			m := &st.memops[i]
+			if m.valid && m.left > 0 {
+				// Provably a hit: same line, no eviction since.
+				m.left--
+				m.pend++
+				next := st.cursors[m.oi] + m.stride
+				if next >= m.size {
+					next -= m.size
+				} else if next < 0 {
+					next += m.size
+				}
+				st.cursors[m.oi] = next
+				continue
+			}
+			op := &l.Body[m.oi]
+			off := st.cursors[m.oi]
+			addr := st.nextAddr(m.oi, op)
+			if m.res != nil {
+				idx := addr>>lineShift - m.baseLine
+				if m.res[idx>>6]&(1<<(idx&63)) != 0 {
+					// Proven resident (and, for a store, already
+					// dirty): the interpreter's access would be a
+					// pure hit with no stall and no state change.
+					c.L1.Hits++
+					continue
+				}
+				c.Cycles += c.accessTracked(st, addr, m.store)
+				m.res[idx>>6] |= 1 << (idx & 63)
+				continue
+			}
+			c.Cycles += c.accessTracked(st, addr, m.store)
+			if m.track {
+				m.valid = true
+				m.line = addr >> lineShift
+				m.left = m.sameLineTrips(off)
+			}
+		}
+		st.trip++
+	}
+	c.flushTracked(st, l, uint64(st.trip-trip0))
+	return true
+}
+
+// flushTracked posts the deferred hit counts into the L1 counter and the
+// deferred op counts of the slice's completed trips into Mix.
+func (c *Core) flushTracked(st *ExecState, l *isa.Loop, trips uint64) {
+	for i := range st.memops {
+		if m := &st.memops[i]; m.pend > 0 {
+			c.L1.Hits += m.pend
+			m.pend = 0
+		}
+	}
+	c.flushMix(l, trips)
+}
+
+// flushMix charges the per-class op counters for trips completed trips of
+// the loop in one pass. The batched engines defer Mix to their returns: the
+// counters are only observed between Exec slices, every return sits on a
+// trip boundary, and per-completed-trip totals there are exactly what the
+// interpreter's per-op increments sum to.
+func (c *Core) flushMix(l *isa.Loop, trips uint64) {
+	if trips == 0 {
+		return
+	}
+	for i := range l.Body {
+		c.Mix[l.Body[i].Class] += trips
+	}
+}
+
+// accessTracked is access plus eviction watching: any L1 victim is compared
+// against the tracked lines so their residency proofs stay sound.
+func (c *Core) accessTracked(st *ExecState, addr uint64, write bool) uint64 {
+	r := c.L1.Access(addr, write)
+	if r.Hit {
+		return 0
+	}
+	if r.VictimValid {
+		v := r.Victim >> lineShift
+		for i := range st.memops {
+			m := &st.memops[i]
+			if m.valid && m.line == v {
+				m.valid = false
+			}
+			if m.res != nil {
+				// v-baseLine underflows past lines for lines below
+				// the region, so one compare covers both bounds.
+				if idx := v - m.baseLine; idx < m.lines {
+					m.res[idx>>6] &^= 1 << (idx & 63)
+				}
+			}
+		}
+	}
+	c.Snoop.Track(addr, lineShift)
+	var stall uint64
+	if r.VictimValid && r.VictimDirty {
+		stall += c.lower.WriteLine(c.id, r.Victim)
+	}
+	line := addr >> lineShift
+	hit, want := c.L2.Access(line, c.want)
+	if hit {
+		stall += c.params.L2HitLatency
+	} else {
+		stall += c.lower.ReadLine(c.id, addr&^(LineBytes-1))
+	}
+	for _, w := range want {
+		c.lower.PrefetchLine(c.id, w<<lineShift)
+		c.L2.FillWanted(w)
+	}
+	return stall
+}
+
+// limitTrips bounds a batch of n uniform trips (issue cycles each, no
+// stalls) by the scheduler limit: it returns how many of them the
+// interpreter would execute before its trip-boundary limit check fires.
+// The caller guarantees c.Cycles < limit when limit > 0.
+func (c *Core) limitTrips(limit uint64, issue uint64, n int64) int64 {
+	if limit == 0 || issue == 0 {
+		return n
+	}
+	k := (limit - c.Cycles + issue - 1) / issue
+	if k < uint64(n) {
+		return int64(k)
+	}
+	return n
+}
+
+// runClosedForm executes a loop with no memory ops: every trip costs
+// exactly issue cycles, so the whole remaining trip range (clipped at the
+// limit boundary) collapses to one multiply per counter.
+func (c *Core) runClosedForm(st *ExecState, l *isa.Loop, limit uint64) bool {
+	for st.trip < st.tripEnd {
+		if limit > 0 && c.Cycles >= limit {
+			return false
+		}
+		n := c.limitTrips(limit, st.issue, st.tripEnd-st.trip)
+		c.Cycles += st.issue * uint64(n)
+		for i := range l.Body {
+			c.Mix[l.Body[i].Class] += uint64(n)
+		}
+		st.trip += n
+	}
+	return true
+}
+
+// runCoalesced executes a loop whose memory ops all walk line-coalescible
+// streams. Line transitions (and misses, and the prefetcher traffic they
+// drive) happen on interpreted probe accesses; everything in between rides
+// on residency proofs: after an op's real access its line is resident
+// (write-allocate) and, for a store op, dirty, so until a watched eviction
+// (accessTracked) or the op's own line departure, each further access is a
+// pure hit — a deferred count, no cache lookup at all. When every op holds
+// a proof, the whole window until the earliest line departure is charged in
+// bulk: issue cycles by multiplication, hits into the deferred counts, and
+// op counts at the returns via flushTracked/flushMix.
+//
+// The deferral leans on the L1 being round-robin exactly as runTracked
+// does: a hit touches only the Hits counter (order-free) and the dirty bit,
+// which the op's own line-entry access already set with the same store
+// flag. Deferred hits are flushed before every return, so observers
+// between Exec slices (UPC sampling, dumps, snoops) see
+// interpreter-identical state; proofs never survive a slice boundary, so
+// snoop invalidations (which happen only between slices) cannot outdate
+// them. Exec routes non-round-robin L1 configurations to the interpreter.
+func (c *Core) runCoalesced(st *ExecState, l *isa.Loop, limit uint64) bool {
+	for i := range st.memops {
+		m := &st.memops[i]
+		m.valid = false
+		m.pend = 0
+	}
+	trip0 := st.trip
+	for st.trip < st.tripEnd {
+		if limit > 0 && c.Cycles >= limit {
+			c.flushTracked(st, l, uint64(st.trip-trip0))
+			return false
+		}
+		// Probe trip: interpreted for ops at a line transition (or with an
+		// invalidated proof), deferred-hit for ops mid-line.
+		c.Cycles += st.issue
+		for i := range st.memops {
+			m := &st.memops[i]
+			if m.valid && m.left > 0 {
+				m.left--
+				m.pend++
+				next := st.cursors[m.oi] + m.stride
+				if next >= m.size {
+					next -= m.size
+				} else if next < 0 {
+					next += m.size
+				}
+				st.cursors[m.oi] = next
+				continue
+			}
+			off := st.cursors[m.oi]
+			addr := st.nextAddr(m.oi, &l.Body[m.oi])
+			c.Cycles += c.accessTracked(st, addr, m.store)
+			m.valid = true
+			m.line = addr >> lineShift
+			m.left = m.sameLineTrips(off)
+		}
+		st.trip++
+		// Bulk window: every op provably stays on its resident line for
+		// min(left) further trips — charge them all at once. A probe miss
+		// may have evicted another op's line (clearing its proof via the
+		// victim watch), in which case the window collapses and the next
+		// probe re-proves residency with a real access.
+		window := st.tripEnd - st.trip
+		for i := range st.memops {
+			m := &st.memops[i]
+			if !m.valid {
+				window = 0
+				break
+			}
+			if m.left < window {
+				window = m.left
+			}
+		}
+		if window <= 0 {
+			continue
+		}
+		if limit > 0 {
+			if c.Cycles >= limit {
+				continue
+			}
+			window = c.limitTrips(limit, st.issue, window)
+			if window <= 0 {
+				continue
+			}
+		}
+		n := uint64(window)
+		c.Cycles += st.issue * n
+		for i := range st.memops {
+			m := &st.memops[i]
+			m.pend += n
+			m.left -= int64(n)
+			if m.size > 0 {
+				st.cursors[m.oi] = wrapOffset(st.cursors[m.oi]+m.stride*int64(n), m.size)
+			}
+		}
+		st.trip += int64(n)
+	}
+	c.flushTracked(st, l, uint64(st.trip-trip0))
+	return true
+}
+
+// sameLineTrips returns how many trips after the current one the op's
+// address stays within the cache line of its current offset: the upcoming
+// offsets off+stride, off+2·stride, … neither leave the line nor wrap
+// around the region for that many trips. Offsets map to in-line positions
+// directly because region bases are line-aligned.
+func (m *memOp) sameLineTrips(off int64) int64 {
+	if m.single {
+		// The whole region lives in one resident line; every future trip
+		// stays on it.
+		return 1 << 62
+	}
+	const mask = LineBytes - 1
+	var inLine, toWrap int64
+	if m.stride > 0 {
+		inLine = (mask - off&mask) / m.stride
+		toWrap = (m.size - 1 - off) / m.stride
+	} else {
+		a := -m.stride
+		inLine = (off & mask) / a
+		toWrap = off / a
+	}
+	if toWrap < inLine {
+		return toWrap
+	}
+	return inLine
+}
+
+// wrapOffset normalizes a region offset into [0, size).
+func wrapOffset(off, size int64) int64 {
+	off %= size
+	if off < 0 {
+		off += size
+	}
+	return off
+}
+
+// prepLoop precomputes the per-trip issue cost of a loop, classifies it
+// for the batched engine, and resets the per-op address cursors.
 func (c *Core) prepLoop(st *ExecState, l *isa.Loop) {
 	var fp, mem, other, div, branch int
 	for _, op := range l.Body {
@@ -295,6 +714,8 @@ func (c *Core) prepLoop(st *ExecState, l *isa.Loop) {
 	} else {
 		st.cursors = st.cursors[:len(l.Body)]
 	}
+	st.kind = st.prog.Kernel(l, LineBytes)
+	st.memops = st.memops[:0]
 	for i, op := range l.Body {
 		st.cursors[i] = 0
 		if !op.Class.IsMem() {
@@ -306,16 +727,30 @@ func (c *Core) prepLoop(st *ExecState, l *isa.Loop) {
 		if op.Pat == isa.Seq || op.Pat == isa.Strided {
 			off += start * op.Stride
 		}
-		if off != 0 {
-			size := int64(st.prog.Regions[op.Region].Size)
-			if size > 0 {
-				off %= size
-				if off < 0 {
-					off += size
-				}
-				st.cursors[i] = off
+		size := int64(st.prog.Regions[op.Region].Size)
+		if off != 0 && size > 0 {
+			st.cursors[i] = wrapOffset(off, size)
+		}
+		m := memOp{
+			oi:     i,
+			stride: op.Stride,
+			size:   size,
+			base:   st.regionBase[op.Region],
+			store:  op.Class.IsStore(),
+			single: size <= LineBytes,
+			track:  op.Coalescible(st.prog.Regions[op.Region].Size, LineBytes),
+		}
+		if size > 0 {
+			m.stride = op.Stride % size
+		}
+		if st.kind == isa.KernelInterp && !m.track && size > 0 {
+			if lines := (uint64(size) + LineBytes - 1) >> lineShift; lines <= maxResLines {
+				m.res = make([]uint64, (lines+63)/64)
+				m.baseLine = m.base >> lineShift
+				m.lines = lines
 			}
 		}
+		st.memops = append(st.memops, m)
 	}
 	st.prepped = true
 }
@@ -333,10 +768,20 @@ func (s *ExecState) nextAddr(oi int, op *isa.Op) uint64 {
 		return base + uint64(off)
 	default: // Seq, Strided
 		off := s.cursors[oi]
+		// Strides are smaller than the region in practice, so the wrap is
+		// a compare-subtract instead of a 64-bit modulo (this is the
+		// hottest address computation in the interpreter).
 		next := off + op.Stride
-		next %= size
-		if next < 0 {
+		if next >= size {
+			next -= size
+			if next >= size {
+				next %= size
+			}
+		} else if next < 0 {
 			next += size
+			if next < 0 {
+				next = wrapOffset(next, size)
+			}
 		}
 		s.cursors[oi] = next
 		return base + uint64(off)
@@ -355,7 +800,7 @@ func (c *Core) access(addr uint64, write bool) uint64 {
 		stall += c.lower.WriteLine(c.id, r.Victim)
 	}
 	line := addr >> lineShift
-	hit, want := c.L2.Access(line)
+	hit, want := c.L2.Access(line, c.want)
 	if hit {
 		stall += c.params.L2HitLatency
 	} else {
@@ -363,7 +808,7 @@ func (c *Core) access(addr uint64, write bool) uint64 {
 	}
 	for _, w := range want {
 		c.lower.PrefetchLine(c.id, w<<lineShift)
-		c.L2.Fill(w)
+		c.L2.FillWanted(w)
 	}
 	return stall
 }

@@ -38,11 +38,19 @@ type Scale struct {
 	// Progress, when non-nil, observes the sweep's runs and aggregates
 	// simulated-cycle throughput.
 	Progress *sweep.Progress
+	// Interpreter forces every run onto the reference per-trip
+	// interpreter instead of the batched execution engine. Results are
+	// bit-identical either way; the flag exists for the benchmark
+	// harness's engine-speedup baseline.
+	Interpreter bool
 }
 
 // runAll fans the configurations out over the scale's worker pool and
 // returns the results in cfgs order.
 func runAll(s Scale, cfgs []bgp.RunConfig) ([]*bgp.Result, error) {
+	for i := range cfgs {
+		cfgs[i].Interpreter = s.Interpreter
+	}
 	return bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{
 		Workers:  s.Jobs,
 		Progress: s.Progress,

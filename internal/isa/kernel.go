@@ -1,0 +1,88 @@
+package isa
+
+import "fmt"
+
+// KernelKind classifies a loop body for the core's batched execution
+// engine. The engine charges whole trip ranges at once where the per-trip
+// behaviour is provably periodic, and falls back to the reference per-trip
+// interpreter everywhere else; the classification is the static half of
+// that contract. Batched and interpreted execution of any loop produce
+// identical counters, cycles, and cache state transitions.
+type KernelKind uint8
+
+const (
+	// KernelClosedForm marks a loop with no memory operations: every trip
+	// costs exactly the precomputed issue cycles, so a trip range
+	// collapses to one multiply per counter.
+	KernelClosedForm KernelKind = iota
+	// KernelCoalesced marks a loop whose memory ops all walk
+	// line-coalescible address streams (sequential or strided within a
+	// cache line, or confined to a single resident line): the engine
+	// performs one real cache access per line transition and charges the
+	// intervening trips as bulk hits.
+	KernelCoalesced
+	// KernelInterp marks a loop that requires per-trip interpretation:
+	// random access patterns (each trip consumes an RNG draw) or strides
+	// that cross a line on every trip.
+	KernelInterp
+)
+
+var kernelNames = [...]string{
+	KernelClosedForm: "ClosedForm",
+	KernelCoalesced:  "Coalesced",
+	KernelInterp:     "Interp",
+}
+
+// String returns the kernel-class name.
+func (k KernelKind) String() string {
+	if int(k) < len(kernelNames) {
+		return kernelNames[k]
+	}
+	return fmt.Sprintf("KernelKind(%d)", uint8(k))
+}
+
+// Coalescible reports whether a memory op's address stream can be
+// line-coalesced: successive dynamic instances stay within one cache line
+// of lineBytes for a statically computable number of trips. Sequential and
+// strided walks qualify when the stride is smaller than a line (several
+// trips per line) or when the whole region fits in one line (every trip on
+// the same line). Random patterns never qualify — their addresses must be
+// drawn one per trip to keep the RNG stream aligned with interpretation.
+func (op *Op) Coalescible(regionSize uint64, lineBytes int64) bool {
+	if !op.Class.IsMem() {
+		return true
+	}
+	switch op.Pat {
+	case Seq, Strided:
+		if regionSize <= uint64(lineBytes) {
+			return true
+		}
+		s := op.Stride
+		if s < 0 {
+			s = -s
+		}
+		return s < lineBytes
+	default:
+		return false
+	}
+}
+
+// Kernel classifies loop l for a machine with the given cache-line size.
+// The loop must belong to p (its ops index p.Regions).
+func (p *Program) Kernel(l *Loop, lineBytes int64) KernelKind {
+	mem := false
+	for i := range l.Body {
+		op := &l.Body[i]
+		if !op.Class.IsMem() {
+			continue
+		}
+		mem = true
+		if !op.Coalescible(p.Regions[op.Region].Size, lineBytes) {
+			return KernelInterp
+		}
+	}
+	if !mem {
+		return KernelClosedForm
+	}
+	return KernelCoalesced
+}

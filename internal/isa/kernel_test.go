@@ -1,0 +1,54 @@
+package isa
+
+import "testing"
+
+func TestKernelClassification(t *testing.T) {
+	p := &Program{
+		Name: "k",
+		Regions: []Region{
+			{Name: "big", Size: 1 << 20},
+			{Name: "tiny", Size: 64},
+		},
+	}
+	cases := []struct {
+		name string
+		body []Op
+		want KernelKind
+	}{
+		{"empty", nil, KernelClosedForm},
+		{"fp-only", []Op{{Class: FPFMA}, {Class: FPSIMDMult}, {Class: IntALU}}, KernelClosedForm},
+		{"seq-small-stride", []Op{{Class: Load, Pat: Seq, Region: 0, Stride: 8}}, KernelCoalesced},
+		{"neg-stride", []Op{{Class: Store, Pat: Seq, Region: 0, Stride: -16}}, KernelCoalesced},
+		{"strided-sub-line", []Op{{Class: QuadLoad, Pat: Strided, Region: 0, Stride: 64}}, KernelCoalesced},
+		{"strided-cross-line", []Op{{Class: Load, Pat: Strided, Region: 0, Stride: 256}}, KernelInterp},
+		{"cross-line-single-line-region", []Op{{Class: Load, Pat: Strided, Region: 1, Stride: 256}}, KernelCoalesced},
+		{"random", []Op{{Class: Load, Pat: Random, Region: 0}}, KernelInterp},
+		{"random-tiny-region", []Op{{Class: Load, Pat: Random, Region: 1}}, KernelInterp},
+		{"mixed-one-bad", []Op{
+			{Class: FPFMA},
+			{Class: Load, Pat: Seq, Region: 0, Stride: 8},
+			{Class: Load, Pat: Random, Region: 0},
+		}, KernelInterp},
+		{"mixed-all-good", []Op{
+			{Class: FPFMA},
+			{Class: Load, Pat: Seq, Region: 0, Stride: 8},
+			{Class: Store, Pat: Strided, Region: 0, Stride: 120},
+		}, KernelCoalesced},
+	}
+	for _, tc := range cases {
+		l := &Loop{Name: tc.name, Body: tc.body, Trips: 10}
+		if got := p.Kernel(l, 128); got != tc.want {
+			t.Errorf("%s: kernel = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestKernelKindString(t *testing.T) {
+	if KernelClosedForm.String() != "ClosedForm" || KernelCoalesced.String() != "Coalesced" ||
+		KernelInterp.String() != "Interp" {
+		t.Error("kernel names wrong")
+	}
+	if KernelKind(9).String() == "" {
+		t.Error("out-of-range kind has empty name")
+	}
+}

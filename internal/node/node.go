@@ -86,6 +86,9 @@ type Node struct {
 	Collective *collective.Iface
 
 	l3pf *cache.StreamDetector
+	// l3pfWant is the reusable proposal buffer handed to the L3 prefetch
+	// engine on every L3 demand miss.
+	l3pfWant []uint64
 	// L3PrefetchIssued counts lines the L3 engine fetched from DRAM.
 	L3PrefetchIssued uint64
 
@@ -121,6 +124,7 @@ func New(id int, params Params, tor *torus.Iface, col *collective.Iface) *Node {
 		// A memory-side engine sees the interleaved miss stream of all
 		// cores and locks onto wider strides than the per-core L2s.
 		n.l3pf = cache.NewStreamDetector(8, 16, params.L3PrefetchDepth)
+		n.l3pfWant = make([]uint64, 0, n.l3pf.Depth())
 	}
 	for b := 0; b < NumL3Banks; b++ {
 		n.DDR[b] = memory.NewController(b, params.DDR)
@@ -204,7 +208,7 @@ func (n *Node) l3Prefetch(addr uint64) {
 	want := n.l3pf.Observe(addr>>7, func(line uint64) bool {
 		a := line << 7
 		return n.L3[n.bank(a)].Contains(a)
-	})
+	}, n.l3pfWant)
 	for _, line := range want {
 		a := line << 7
 		b := n.bank(a)

@@ -5,6 +5,8 @@
 // wall clock or the global math/rand state.
 package rng
 
+import "math/bits"
+
 // Source is a splitmix64 pseudo-random generator. The zero value is a valid
 // generator seeded with 0; use New to derive well-separated streams.
 type Source struct {
@@ -44,7 +46,7 @@ func (s *Source) Uint64n(n uint64) uint64 {
 	}
 	// Multiply-shift bounded generation (Lemire); the modulo bias is
 	// negligible for the address-space ranges used here.
-	hi, _ := mul64(s.Uint64(), n)
+	hi, _ := bits.Mul64(s.Uint64(), n)
 	return hi
 }
 
@@ -59,17 +61,4 @@ func (s *Source) Intn(n int) int {
 // Float64 returns a pseudo-random float64 in [0, 1).
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
-}
-
-// mul64 returns the 128-bit product of x and y as (hi, lo).
-func mul64(x, y uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	x0, x1 := x&mask32, x>>32
-	y0, y1 := y&mask32, y>>32
-	w0 := x0 * y0
-	t := x1*y0 + w0>>32
-	w1 := t&mask32 + x0*y1
-	hi = x1*y1 + t>>32 + w1>>32
-	lo = x * y
-	return
 }

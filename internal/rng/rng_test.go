@@ -3,7 +3,6 @@ package rng
 import (
 	"math/bits"
 	"testing"
-	"testing/quick"
 )
 
 func TestDeterminism(t *testing.T) {
@@ -114,16 +113,5 @@ func TestBitBalance(t *testing.T) {
 	mean := float64(ones) / float64(n)
 	if mean < 31 || mean > 33 {
 		t.Errorf("mean popcount = %g, want ~32", mean)
-	}
-}
-
-func TestMul64MatchesBits(t *testing.T) {
-	f := func(x, y uint64) bool {
-		hi, lo := mul64(x, y)
-		whi, wlo := bits.Mul64(x, y)
-		return hi == whi && lo == wlo
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Error(err)
 	}
 }

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# bench.sh — measure the simulator's core benchmark trajectory and emit
+# BENCH_core.json at the repo root.
+#
+# For each tracked benchmark the script records ns/op (and sim-cycles/s
+# where the benchmark reports it) for the batched execution engine, then
+# re-runs the figure-6 profile with BGP_ENGINE=interpreter to measure the
+# reference per-trip interpreter on the same tree, and derives the engine
+# speedup. COUNT (default 3) controls benchmark repetitions; the minimum
+# ns/op across repetitions is kept, which is the usual robust estimator on
+# shared/virtualized hosts.
+#
+# Usage: scripts/bench.sh [output.json]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_core.json}"
+COUNT="${COUNT:-3}"
+BENCHTIME="${BENCHTIME:-3x}"
+BENCHES='BenchmarkFig06InstructionProfile|BenchmarkFig11L3Sweep|BenchmarkCacheAccess'
+
+run_bench() { # env-prefix regex -> "name ns_op extra_metric" lines
+    local engine="$1" regex="$2"
+    BGP_ENGINE="$engine" go test -run '^$' -bench "$regex" \
+        -benchtime "$BENCHTIME" -count "$COUNT" ./... 2>/dev/null |
+        awk '/^Benchmark/ {
+            name=$1; sub(/-[0-9]+$/, "", name)
+            ns=$3
+            extra=""
+            for (i=4; i<NF; i++) if ($(i+1) ~ /cycles\/s/) extra=$i
+            if (!(name in best) || ns+0 < best[name]+0) { best[name]=ns; metric[name]=extra }
+        }
+        END { for (n in best) print n, best[n], metric[n] }'
+}
+
+echo "benchmarking batched engine ($COUNT x $BENCHTIME)..." >&2
+BATCHED="$(run_bench "" "$BENCHES")"
+echo "benchmarking reference interpreter (figure 6 only)..." >&2
+INTERP="$(run_bench interpreter BenchmarkFig06InstructionProfile)"
+
+python3 - "$OUT" <<EOF
+import json, sys
+
+def parse(raw):
+    out = {}
+    for line in raw.splitlines():
+        parts = line.split()
+        if not parts:
+            continue
+        entry = {"ns_per_op": float(parts[1])}
+        if len(parts) > 2 and parts[2]:
+            entry["sim_cycles_per_s"] = float(parts[2])
+        out[parts[0]] = entry
+    return out
+
+batched = parse("""$BATCHED""")
+interp = parse("""$INTERP""")
+
+doc = {
+    "schema": "bgpsim-bench-core/1",
+    "engine": {"batched": batched, "interpreter": interp},
+}
+fig6 = "BenchmarkFig06InstructionProfile"
+if fig6 in batched and fig6 in interp:
+    doc["fig06_interpreter_over_batched"] = round(
+        interp[fig6]["ns_per_op"] / batched[fig6]["ns_per_op"], 3)
+
+with open(sys.argv[1], "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {sys.argv[1]}")
+EOF
