@@ -1,0 +1,288 @@
+package bgp_test
+
+// The chaos harness of the resilient sweep layer. The exactness contract is
+// that recovery machinery never perturbs simulation results: with a seeded
+// fault schedule injecting transient errors, panics, stalls and dump
+// corruption, a ContinueOnError + retry + resume sweep must converge to
+// counter dumps byte-identical to a clean serial run — across all four
+// operating modes (determinismCases covers one benchmark per mode). The
+// fault injector draws from its own RNG streams, so arming it changes when
+// runs fail, never what they compute.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	bgp "bgpsim"
+	"bgpsim/internal/faults"
+	"bgpsim/internal/sweep"
+)
+
+// goldenRuns executes each configuration serially and returns the per-config
+// results and raw dump bytes — the reference every recovered sweep must
+// reproduce byte-for-byte.
+func goldenRuns(t *testing.T, root string, cfgs []bgp.RunConfig) ([]*bgp.Result, []map[string][]byte) {
+	t.Helper()
+	results := make([]*bgp.Result, len(cfgs))
+	dumps := make([]map[string][]byte, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg.DumpDir = filepath.Join(root, fmt.Sprintf("golden%d", i))
+		if err := os.MkdirAll(cfg.DumpDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		res, err := bgp.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+		dumps[i] = readDumpBytes(t, cfg.DumpDir)
+	}
+	return results, dumps
+}
+
+// checkpointDumpBytes reads the persisted dump files of run index from the
+// checkpoint directory.
+func checkpointDumpBytes(t *testing.T, ckptDir string, index int, cfg bgp.RunConfig) map[string][]byte {
+	t.Helper()
+	return readDumpBytes(t, filepath.Join(ckptDir, bgp.RunKey(index, cfg)))
+}
+
+// TestChaosDeterminism injects a seeded fault schedule — transient errors,
+// a panic, a stall past the per-run deadline, write-path dump corruption,
+// and one run whose transient faults outlast the retry budget — into a
+// ContinueOnError sweep with checkpointing, then resumes. The recovered
+// sweep's persisted dumps must be byte-identical to the fault-free serial
+// golden runs.
+func TestChaosDeterminism(t *testing.T) {
+	cases := determinismCases() // one benchmark per operating mode
+	cfgs := append(cases, cases[0], cases[3])
+	goldenOf := []int{0, 1, 2, 3, 0, 3} // cfg index → golden case index
+
+	root := t.TempDir()
+	golden, goldenDumps := goldenRuns(t, root, cases)
+
+	keys := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		keys[i] = bgp.RunKey(i, cfg)
+	}
+	inj := faults.New(0xB1_0E6E)
+	inj.Arm(keys[0], faults.Transient, faults.Transient)                                     // heals within the retry budget
+	inj.Arm(keys[1], faults.Panic)                                                           // panic isolation + retry
+	inj.Arm(keys[2], faults.Stall)                                                           // deadline overrun + retry
+	inj.Arm(keys[3], faults.CorruptDump)                                                     // resume validation must catch it
+	inj.Arm(keys[4], faults.Transient, faults.Transient, faults.Transient, faults.Transient) // outlasts retries
+	// keys[5] unarmed: the fault-free control through the same machinery.
+
+	ckptDir := filepath.Join(root, "ckpt")
+	chaos, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{
+		Workers:         len(cfgs),
+		Retries:         2,
+		RunTimeout:      3 * time.Second,
+		ContinueOnError: true,
+		CheckpointDir:   ckptDir,
+		Faults:          inj,
+	})
+	var se *sweep.SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("chaos pass error = %v, want *sweep.SweepError", err)
+	}
+	if len(se.Failed) != 1 || se.Failed[0].Index != 4 {
+		t.Fatalf("chaos pass failures = %+v, want exactly run 4", se.Failed)
+	}
+	if !errors.Is(err, faults.ErrTransient) {
+		t.Errorf("run 4's exhausted transient fault does not unwrap: %v", err)
+	}
+	if chaos[4] != nil {
+		t.Error("failed run 4 returned a result")
+	}
+	for _, i := range []int{0, 1, 2, 3, 5} {
+		if chaos[i] == nil {
+			t.Fatalf("run %d produced no result despite recovery", i)
+		}
+		if !reflect.DeepEqual(chaos[i].Metrics, golden[goldenOf[i]].Metrics) {
+			t.Errorf("run %d metrics diverge from golden after fault recovery", i)
+		}
+	}
+	// Every injected kind actually fired.
+	fired := make(map[faults.Kind]bool)
+	for _, ev := range inj.Log() {
+		fired[ev.Kind] = true
+	}
+	for _, k := range []faults.Kind{faults.Transient, faults.Panic, faults.Stall, faults.CorruptDump} {
+		if !fired[k] {
+			t.Errorf("fault kind %v never fired", k)
+		}
+	}
+
+	// Resume: restores pristine checkpoints, re-runs the corrupted and the
+	// failed run, and converges.
+	var restored, executed atomic.Int64
+	resumed, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{
+		Workers:       len(cfgs),
+		CheckpointDir: ckptDir,
+		Resume:        true,
+		OnRestore:     func(int) { restored.Add(1) },
+		OnResult:      func(int, *bgp.Result) { executed.Add(1) },
+	})
+	if err != nil {
+		t.Fatalf("resume pass: %v", err)
+	}
+	// Runs 0, 1, 2 and 5 persisted pristine dumps; run 3's artifact was
+	// corrupted on the write path and run 4 never completed.
+	if r := restored.Load(); r != 4 {
+		t.Errorf("resume restored %d runs, want 4", r)
+	}
+	if e := executed.Load() - restored.Load(); e != 2 {
+		t.Errorf("resume executed %d runs, want 2 (the corrupted and the failed one)", e)
+	}
+
+	// The exactness contract: after retries and resume, every run's
+	// persisted dump set is byte-identical to the fault-free serial run.
+	for i, cfg := range cfgs {
+		want := goldenDumps[goldenOf[i]]
+		got := checkpointDumpBytes(t, ckptDir, i, cfg)
+		if len(got) != len(want) {
+			t.Fatalf("run %d: checkpoint has %d dumps, golden has %d", i, len(got), len(want))
+		}
+		for name, blob := range want {
+			if !bytes.Equal(blob, got[name]) {
+				t.Errorf("run %d: checkpoint dump %s differs from fault-free golden", i, name)
+			}
+		}
+		if !reflect.DeepEqual(resumed[i].Metrics, golden[goldenOf[i]].Metrics) {
+			t.Errorf("run %d: resumed metrics diverge from golden", i)
+		}
+	}
+}
+
+// TestSweepResumeAfterCancel interrupts a checkpointed sweep mid-flight
+// (context cancel at ~50% completion) and relaunches it with Resume: only
+// the unfinished runs re-execute, and the final results equal the clean
+// serial ones.
+func TestSweepResumeAfterCancel(t *testing.T) {
+	cases := determinismCases()
+	cfgs := append(cases, cases...) // 8 runs, two per operating mode
+	root := t.TempDir()
+	golden, goldenDumps := goldenRuns(t, root, cases)
+
+	ckptDir := filepath.Join(root, "ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done atomic.Int64
+	_, err := bgp.RunAll(ctx, cfgs, bgp.SweepConfig{
+		Workers:       2,
+		CheckpointDir: ckptDir,
+		OnResult: func(int, *bgp.Result) {
+			if done.Add(1) == int64(len(cfgs)/2) {
+				cancel() // interrupt at ~50% completion
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep returned %v, want context.Canceled", err)
+	}
+	completed := done.Load()
+	if completed >= int64(len(cfgs)) {
+		t.Fatal("every run completed; cancellation came too late to test resume")
+	}
+
+	var restored atomic.Int64
+	results, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{
+		Workers:       2,
+		CheckpointDir: ckptDir,
+		Resume:        true,
+		OnRestore:     func(int) { restored.Add(1) },
+	})
+	if err != nil {
+		t.Fatalf("resume pass: %v", err)
+	}
+	// Everything checkpointed before the cancel was restored, not re-run;
+	// with 2 workers at most 2 runs were in flight past the cancel point.
+	if r := restored.Load(); r < completed || r > completed+2 {
+		t.Errorf("restored %d runs, want between %d and %d", r, completed, completed+2)
+	}
+	if r := restored.Load(); r == int64(len(cfgs)) {
+		t.Error("resume restored every run; nothing was left to re-execute")
+	}
+	// The resumed sweep's results and persisted dumps match the clean
+	// serial baseline — the same final figure series.
+	for i, cfg := range cfgs {
+		g := golden[i%len(cases)]
+		if !reflect.DeepEqual(results[i].Metrics, g.Metrics) {
+			t.Errorf("run %d: resumed metrics differ from serial baseline", i)
+		}
+		want := goldenDumps[i%len(cases)]
+		got := checkpointDumpBytes(t, ckptDir, i, cfg)
+		for name, blob := range want {
+			if !bytes.Equal(blob, got[name]) {
+				t.Errorf("run %d: dump %s differs from serial baseline", i, name)
+			}
+		}
+	}
+}
+
+// TestResumeOnlyRendersPartialCheckpoints pins the graceful-degradation
+// path bgpreport builds on: with ResumeOnly + ContinueOnError, runs present
+// in the checkpoint are restored, absent ones fail with ErrNotCheckpointed,
+// and nothing executes.
+func TestResumeOnlyRendersPartialCheckpoints(t *testing.T) {
+	cases := determinismCases()
+	cfgs := cases[:2]
+	ckptDir := t.TempDir()
+
+	// Checkpoint only the first run.
+	if _, err := bgp.RunAll(context.Background(), cfgs[:1], bgp.SweepConfig{
+		Workers: 1, CheckpointDir: ckptDir,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{
+		Workers:         2,
+		CheckpointDir:   ckptDir,
+		ResumeOnly:      true,
+		ContinueOnError: true,
+	})
+	var se *sweep.SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *sweep.SweepError", err)
+	}
+	if !errors.Is(err, bgp.ErrNotCheckpointed) {
+		t.Errorf("missing run's error does not unwrap to ErrNotCheckpointed: %v", err)
+	}
+	if results[0] == nil || results[0].Metrics == nil {
+		t.Error("checkpointed run was not restored")
+	}
+	if results[1] != nil {
+		t.Error("uncheckpointed run produced a result under ResumeOnly")
+	}
+	if len(se.Failed) != 1 || se.Failed[0].Index != 1 {
+		t.Errorf("Failed = %+v, want exactly run 1", se.Failed)
+	}
+}
+
+// TestRunKeyDistinguishesConfigs pins that checkpoint keys separate
+// different configurations at the same sweep index (bgpreport shares one
+// checkpoint directory across every figure's sweep).
+func TestRunKeyDistinguishesConfigs(t *testing.T) {
+	cases := determinismCases()
+	if bgp.RunKey(0, cases[0]) == bgp.RunKey(0, cases[1]) {
+		t.Error("different configs share a checkpoint key at index 0")
+	}
+	if bgp.RunKey(0, cases[0]) == bgp.RunKey(1, cases[0]) {
+		t.Error("different indices share a checkpoint key")
+	}
+	withDump := cases[0]
+	withDump.DumpDir = "/somewhere/else"
+	if bgp.RunKey(0, cases[0]) != bgp.RunKey(0, withDump) {
+		t.Error("DumpDir perturbs the checkpoint key; resume would re-run everything")
+	}
+}

@@ -1,0 +1,201 @@
+package bgp
+
+// Sweep checkpointing: each completed run's CRC'd dump set is persisted
+// under a run directory together with an atomic manifest, so an interrupted
+// or partially-failed sweep can be resumed — runs whose manifest entry
+// validates are restored from their dumps (the derived analysis and metrics
+// are recomputed, which is exact because they are pure functions of the
+// dumps), and runs with missing, mismatched or corrupt artifacts re-execute.
+//
+// The manifest commits with write-temp + rename after every run, so a crash
+// at any point leaves either the previous manifest or the new one, never a
+// torn file; dump files are written the same way. File stamps (size +
+// CRC32) are computed from the pristine encoded bytes *before* the bytes
+// reach the disk write path, so corruption injected on (or occurring during)
+// the write is caught by resume validation rather than silently trusted.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bgpsim/internal/bgpctr"
+	"bgpsim/internal/postproc"
+)
+
+// ManifestName is the checkpoint manifest file name inside a checkpoint
+// directory.
+const ManifestName = "MANIFEST.json"
+
+// manifestVersion is the current manifest schema version.
+const manifestVersion = 1
+
+// manifest is the on-disk index of a checkpoint directory.
+type manifest struct {
+	Version int                      `json:"version"`
+	Entries map[string]manifestEntry `json:"entries"`
+}
+
+// manifestEntry records one completed run: its configuration fingerprint,
+// resolved identity, and the stamps of its dump files.
+type manifestEntry struct {
+	Config string      `json:"config"`
+	Label  string      `json:"label"`
+	Ranks  int         `json:"ranks"`
+	Nodes  int         `json:"nodes"`
+	Files  []fileStamp `json:"files"`
+}
+
+// fileStamp validates one dump file byte-for-byte.
+type fileStamp struct {
+	Name  string `json:"name"`
+	Size  int64  `json:"size"`
+	CRC32 uint32 `json:"crc32"`
+}
+
+// RunKey is the checkpoint key of run index with configuration cfg: the
+// sweep position plus a fingerprint hash, so distinct sweeps sharing a
+// checkpoint directory (bgpreport runs every figure against one) never
+// collide, while re-launching the same sweep maps onto the same entries.
+func RunKey(index int, cfg RunConfig) string {
+	h := fnv.New32a()
+	h.Write([]byte(fingerprint(cfg)))
+	return fmt.Sprintf("run%04d-%08x", index, h.Sum32())
+}
+
+// fingerprint is a stable identity of the run configuration, independent of
+// host-side placement (the dump directory).
+func fingerprint(cfg RunConfig) string {
+	cfg.DumpDir = ""
+	return fmt.Sprintf("%+v", cfg)
+}
+
+// checkpoint manages one checkpoint directory for a sweep.
+type checkpoint struct {
+	dir string
+
+	mu sync.Mutex
+	m  manifest
+}
+
+// openCheckpoint creates (or, when resuming, loads) the checkpoint at dir.
+// A missing or unreadable manifest resumes as empty — every run simply
+// re-executes.
+func openCheckpoint(dir string, resume bool) (*checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bgp: creating checkpoint dir: %w", err)
+	}
+	c := &checkpoint{dir: dir, m: manifest{Version: manifestVersion, Entries: map[string]manifestEntry{}}}
+	if !resume {
+		return c, nil
+	}
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return c, nil
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil || m.Version != manifestVersion || m.Entries == nil {
+		return c, nil
+	}
+	c.m = m
+	return c, nil
+}
+
+// restore rebuilds the Result of a checkpointed run, or returns nil when the
+// entry is absent, stamped for a different configuration, or any artifact is
+// missing or corrupt — in which case the caller re-executes the run.
+func (c *checkpoint) restore(key string, cfg RunConfig) *Result {
+	c.mu.Lock()
+	e, ok := c.m.Entries[key]
+	c.mu.Unlock()
+	if !ok || e.Config != fingerprint(cfg) || len(e.Files) == 0 {
+		return nil
+	}
+	dumps := make([]*Dump, 0, len(e.Files))
+	for _, fs := range e.Files {
+		blob, err := os.ReadFile(filepath.Join(c.dir, key, fs.Name))
+		if err != nil || int64(len(blob)) != fs.Size || crc32.ChecksumIEEE(blob) != fs.CRC32 {
+			return nil
+		}
+		d, err := bgpctr.ReadDump(bytes.NewReader(blob))
+		if err != nil {
+			return nil
+		}
+		dumps = append(dumps, d)
+	}
+	analysis, err := postproc.Analyze(dumps)
+	if err != nil {
+		return nil
+	}
+	metrics, err := postproc.Compute(analysis, bgpctr.WholeAppSet, e.Label)
+	if err != nil {
+		return nil
+	}
+	cfg.Ranks, cfg.Nodes = e.Ranks, e.Nodes
+	return &Result{
+		Config:   cfg,
+		Label:    e.Label,
+		Dumps:    dumps,
+		Analysis: analysis,
+		Metrics:  metrics,
+	}
+}
+
+// persist writes the run's dump files under dir/key/ and commits its
+// manifest entry atomically. mutate, when non-nil, transforms each file's
+// bytes after the stamps are computed — the fault injector's write-path
+// corruption hook; resume validation is what must catch the damage.
+func (c *checkpoint) persist(key string, cfg RunConfig, res *Result, mutate func(name string, blob []byte) []byte) error {
+	runDir := filepath.Join(c.dir, key)
+	if err := os.MkdirAll(runDir, 0o755); err != nil {
+		return err
+	}
+	entry := manifestEntry{
+		Config: fingerprint(cfg),
+		Label:  res.Label,
+		Ranks:  res.Config.Ranks,
+		Nodes:  res.Config.Nodes,
+	}
+	for _, d := range res.Dumps {
+		var buf bytes.Buffer
+		if err := d.Encode(&buf); err != nil {
+			return err
+		}
+		blob := buf.Bytes()
+		name := fmt.Sprintf("node%04d.bgpc", d.NodeID)
+		entry.Files = append(entry.Files, fileStamp{
+			Name:  name,
+			Size:  int64(len(blob)),
+			CRC32: crc32.ChecksumIEEE(blob),
+		})
+		if mutate != nil {
+			blob = mutate(name, append([]byte(nil), blob...))
+		}
+		if err := writeFileAtomic(filepath.Join(runDir, name), blob); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m.Entries[key] = entry
+	data, err := json.MarshalIndent(&c.m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(c.dir, ManifestName), data)
+}
+
+// writeFileAtomic writes data via a temporary file and rename, so readers
+// and crashes see either the old contents or the new, never a torn write.
+func writeFileAtomic(name string, data []byte) error {
+	tmp := name + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, name)
+}

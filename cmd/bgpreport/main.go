@@ -3,6 +3,25 @@
 //
 //	bgpreport                    # class B / 32 ranks (the paper's per-rank regime)
 //	bgpreport -class C -ranks 128  # the paper's full scale
+//
+// A full-scale report is hours of simulation, so it can run resiliently:
+//
+//	bgpreport -checkpoint ./ckpt             # persist each completed run
+//	bgpreport -checkpoint ./ckpt -resume     # after an interrupt: re-run only
+//	                                         # the unfinished points
+//	bgpreport -checkpoint ./ckpt -from-checkpoint -keep-going
+//	                                         # render from the checkpoint alone;
+//	                                         # absent points become dashes
+//
+// Every figure's sweep shares the one checkpoint directory; run keys are
+// derived from each point's configuration, so they never collide and a
+// re-render restores every point it can. With -keep-going the report is
+// still written when points are missing: their cells render as dashes, each
+// affected table carries a "partial" note, and the missing benchmark ×
+// mode × build × L3 points are listed at the end of the report and on
+// stderr.
+//
+// Exit status: 0 on a complete report, 1 on error, 3 on a partial report.
 package main
 
 import (
@@ -20,26 +39,54 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bgpreport: ")
+	os.Exit(run())
+}
 
+// run carries the whole command so the output file's defer fires before the
+// process exits with a status code.
+func run() int {
 	var (
 		class = flag.String("class", "B", "problem class")
 		ranks = flag.Int("ranks", 32, "process count")
 		jobs  = flag.Int("jobs", 0, "concurrent simulations per figure (0 = one per host core)")
 		out   = flag.String("o", "", "write the report to this file instead of stdout")
+
+		retries    = flag.Int("retries", 0, "per-run retry budget for transient failures")
+		runTimeout = flag.Duration("run-timeout", 0, "deadline per run attempt (0 = none); overruns count as transient")
+		keepGoing  = flag.Bool("keep-going", false, "write a partial report past failed points (exit status 3)")
+		checkpoint = flag.String("checkpoint", "", "persist each completed run in this directory")
+		resume     = flag.Bool("resume", false, "restore completed runs from -checkpoint instead of re-running them")
+		fromCkpt   = flag.Bool("from-checkpoint", false, "render from -checkpoint alone without simulating; combine with -keep-going for a partial report")
 	)
 	flag.Parse()
 
 	cls, err := bgp.ParseClass(*class)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
-	s := experiments.Scale{Class: cls, Ranks: *ranks, Jobs: *jobs}
+	if (*resume || *fromCkpt) && *checkpoint == "" {
+		log.Print("-resume and -from-checkpoint require -checkpoint")
+		return 1
+	}
+	missing := &experiments.MissingSet{}
+	s := experiments.Scale{
+		Class: cls, Ranks: *ranks, Jobs: *jobs,
+		KeepGoing:     *keepGoing,
+		Retries:       *retries,
+		RunTimeout:    *runTimeout,
+		CheckpointDir: *checkpoint,
+		Resume:        *resume,
+		ResumeOnly:    *fromCkpt,
+		Missing:       missing,
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		defer f.Close()
 		w = f
@@ -48,11 +95,17 @@ func main() {
 	fmt.Fprintf(w, "Blue Gene/P workload characterization — full evaluation\n")
 	fmt.Fprintf(w, "class %s, %d processes\n\n", cls, *ranks)
 
+	failed := false
 	step := func(name string, f func() error) {
+		if failed {
+			return
+		}
 		start := time.Now()
 		log.Printf("running %s...", name)
 		if err := f(); err != nil {
-			log.Fatalf("%s: %v", name, err)
+			log.Printf("%s: %v", name, err)
+			failed = true
+			return
 		}
 		log.Printf("%s done in %v", name, time.Since(start).Round(time.Second))
 	}
@@ -141,4 +194,19 @@ func main() {
 		fmt.Fprintln(w)
 		return nil
 	})
+	if failed {
+		return 1
+	}
+	if missing.Missing() > 0 {
+		fmt.Fprintf(w, "Missing points (%d of %d):\n", missing.Missing(), missing.Total())
+		for _, label := range missing.Labels() {
+			fmt.Fprintf(w, "  %s\n", label)
+		}
+		log.Printf("partial report: %d of %d points missing", missing.Missing(), missing.Total())
+		for _, label := range missing.Labels() {
+			log.Printf("  missing: %s", label)
+		}
+		return 3
+	}
+	return 0
 }

@@ -10,10 +10,19 @@
 // the independent runs then fan out over -jobs host workers, with dumps
 // for each benchmark in its own subdirectory. Results are identical at any
 // -jobs value and are always printed in benchmark order.
+//
+// Multi-benchmark runs can be made resilient with -retries, -run-timeout,
+// -keep-going (print the completed benchmarks past failed ones) and
+// -checkpoint/-resume (persist completed runs; re-run only the unfinished
+// ones after an interrupt).
+//
+// Exit status: 0 on success, 1 on error, 3 when -keep-going produced
+// partial output.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -26,12 +35,18 @@ import (
 	bgp "bgpsim"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/postproc"
+	"bgpsim/internal/sweep"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bgprun: ")
+	os.Exit(run())
+}
 
+// run carries the whole command so the profile defers fire before the
+// process exits with a status code.
+func run() int {
 	var (
 		bench    = flag.String("bench", "mg", "NAS benchmarks, comma-separated or \"all\": "+strings.Join(bgp.Benchmarks(), ", "))
 		class    = flag.String("class", "A", "problem class: S, W, A, B or C")
@@ -47,6 +62,13 @@ func main() {
 		tlEvery  = flag.Uint64("timeline-interval", 1_000_000, "timeline sampling interval in cycles")
 		tlEvents = flag.String("timeline-events", "BGP_PU0_CYCLES,BGP_NODE_FPU_FMA,BGP_DDR_READ_LINES",
 			"comma-separated event mnemonics to sample")
+
+		retries    = flag.Int("retries", 0, "per-run retry budget for transient failures")
+		runTimeout = flag.Duration("run-timeout", 0, "deadline per run attempt (0 = none); overruns count as transient")
+		keepGoing  = flag.Bool("keep-going", false, "print completed benchmarks past failed ones (exit status 3)")
+		checkpoint = flag.String("checkpoint", "", "persist each completed run in this directory")
+		resume     = flag.Bool("resume", false, "restore completed runs from -checkpoint instead of re-running them")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -55,11 +77,13 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -67,27 +91,35 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatal(err)
+				log.Print(err)
 			}
 		}()
 	}
 
 	cls, err := bgp.ParseClass(*class)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	opts, err := bgp.ParseOptions(*opt)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	opMode, err := parseMode(*mode)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
+	}
+	if *resume && *checkpoint == "" {
+		log.Print("-resume requires -checkpoint")
+		return 1
 	}
 
 	var benches []string
@@ -99,7 +131,8 @@ func main() {
 		}
 	}
 	if *timeline != "" && len(benches) > 1 {
-		log.Fatal("-timeline supports a single benchmark")
+		log.Print("-timeline supports a single benchmark")
+		return 1
 	}
 
 	cfgs := make([]bgp.RunConfig, len(benches))
@@ -124,7 +157,8 @@ func main() {
 				cfg.DumpDir = filepath.Join(*dumpDir, name)
 			}
 			if err := os.MkdirAll(cfg.DumpDir, 0o755); err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return 1
 			}
 		}
 		if *timeline != "" {
@@ -134,44 +168,78 @@ func main() {
 		cfgs[i] = cfg
 	}
 
-	results, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{Workers: *jobs})
+	results, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{
+		Workers:         *jobs,
+		Retries:         *retries,
+		RunTimeout:      *runTimeout,
+		ContinueOnError: *keepGoing,
+		CheckpointDir:   *checkpoint,
+		Resume:          *resume,
+	})
+	partial := false
 	if err != nil {
-		log.Fatal(err)
+		var se *sweep.SweepError
+		if *keepGoing && errors.As(err, &se) && se.Cause == nil {
+			// Completed benchmarks still print; the failures go to stderr
+			// and the exit status says partial.
+			partial = true
+			for _, f := range se.Failed {
+				log.Printf("failed: %v", f.Err)
+			}
+		} else {
+			log.Print(err)
+			return 1
+		}
 	}
 
-	metrics := make([]*postproc.Metrics, len(results))
+	metrics := make([]*postproc.Metrics, 0, len(results))
+	first := true
 	for i, res := range results {
-		if i > 0 {
+		if res == nil {
+			continue
+		}
+		if !first {
 			fmt.Println()
 		}
+		first = false
 		printRun(res, cfgs[i].DumpDir)
-		metrics[i] = res.Metrics
+		metrics = append(metrics, res.Metrics)
 	}
 
 	if *timeline != "" {
-		res := results[0]
-		f, err := os.Create(*timeline)
-		if err != nil {
-			log.Fatal(err)
+		if res := results[0]; res != nil {
+			f, err := os.Create(*timeline)
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			if err := res.Timeline.WriteCSV(f); err != nil {
+				log.Print(err)
+				return 1
+			}
+			f.Close()
+			fmt.Printf("timeline CSV:     %s (%d samples)\n", *timeline, len(res.Timeline.Samples()))
 		}
-		if err := res.Timeline.WriteCSV(f); err != nil {
-			log.Fatal(err)
-		}
-		f.Close()
-		fmt.Printf("timeline CSV:     %s (%d samples)\n", *timeline, len(res.Timeline.Samples()))
 	}
 
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		defer f.Close()
 		if err := postproc.WriteMetricsCSV(f, metrics); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		fmt.Printf("metrics CSV:      %s\n", *csvOut)
 	}
+	if partial {
+		log.Printf("partial output: %d of %d benchmarks missing", len(cfgs)-len(metrics), len(cfgs))
+		return 3
+	}
+	return 0
 }
 
 func printRun(res *bgp.Result, dumpDir string) {

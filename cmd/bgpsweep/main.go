@@ -12,10 +12,25 @@
 //	bgpsweep -ext prefetch          # §IX extension: L2 prefetch-depth sweep
 //	bgpsweep -ext hybrid            # §IX extension: MPI+OpenMP vs pure MPI
 //
+// Long sweeps can run resiliently:
+//
+//	bgpsweep -fig 11 -checkpoint ./ckpt            # persist each completed run
+//	bgpsweep -fig 11 -checkpoint ./ckpt -resume    # after an interrupt: re-run
+//	                                               # only the unfinished points
+//	bgpsweep -fig 11 -retries 2 -run-timeout 5m    # retry transient failures,
+//	                                               # bound each run attempt
+//	bgpsweep -fig 11 -keep-going                   # render a partial figure
+//	                                               # past failed points
+//
 // Every point of a figure is an independent simulation; -jobs bounds the
 // host worker pool they fan out on (0 = one worker per host core). The
 // printed series are byte-identical at any -jobs value: parallelism is
 // strictly cross-run, and each run's rank scheduling stays deterministic.
+// Retry, checkpoint/resume and -keep-going never perturb completed points
+// either — a recovered sweep's output matches a clean run's.
+//
+// Exit status: 0 on success, 1 on error, 3 when -keep-going produced
+// partial output (the missing points are listed on stderr).
 package main
 
 import (
@@ -33,7 +48,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bgpsweep: ")
+	os.Exit(run())
+}
 
+// run carries the whole command so profile, progress and checkpoint defers
+// fire before the process exits with a status code.
+func run() int {
 	var (
 		fig      = flag.Int("fig", 6, "figure to regenerate: 6, 7, 8, 9, 10, 11, 12, 13 or 14")
 		ext      = flag.String("ext", "", "extension study instead of a figure: prefetch, l3prefetch or hybrid")
@@ -41,6 +61,13 @@ func main() {
 		ranks    = flag.Int("ranks", 32, "process count (class B / 32 ranks reproduces the paper's per-rank regime)")
 		jobs     = flag.Int("jobs", 0, "concurrent simulations (0 = one per host core); results do not depend on it")
 		progress = flag.Bool("progress", false, "print sweep progress and throughput to stderr when done")
+
+		retries    = flag.Int("retries", 0, "per-run retry budget for transient failures")
+		runTimeout = flag.Duration("run-timeout", 0, "deadline per run attempt (0 = none); overruns count as transient")
+		keepGoing  = flag.Bool("keep-going", false, "render partial output past failed points (exit status 3)")
+		checkpoint = flag.String("checkpoint", "", "persist each completed run in this directory")
+		resume     = flag.Bool("resume", false, "restore completed runs from -checkpoint instead of re-running them")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -49,11 +76,13 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -61,22 +90,37 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatal(err)
+				log.Print(err)
 			}
 		}()
 	}
 
 	cls, err := bgp.ParseClass(*class)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
+	}
+	if *resume && *checkpoint == "" {
+		log.Print("-resume requires -checkpoint")
+		return 1
 	}
 	var tracker sweep.Progress
-	s := experiments.Scale{Class: cls, Ranks: *ranks, Jobs: *jobs}
+	missing := &experiments.MissingSet{}
+	s := experiments.Scale{
+		Class: cls, Ranks: *ranks, Jobs: *jobs,
+		KeepGoing:     *keepGoing,
+		Retries:       *retries,
+		RunTimeout:    *runTimeout,
+		CheckpointDir: *checkpoint,
+		Resume:        *resume,
+		Missing:       missing,
+	}
 	if *progress {
 		s.Progress = &tracker
 		defer func() { log.Print(tracker.Snapshot()) }()
@@ -89,33 +133,38 @@ func main() {
 	case "prefetch":
 		rows, err := experiments.PrefetchSweep(experiments.SuiteNames(), s)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		experiments.RenderPrefetch(w, rows)
-		return
+		return partialStatus(missing)
 	case "l3prefetch":
 		rows, err := experiments.L3PrefetchSweep(experiments.SuiteNames(), s)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		experiments.RenderL3Prefetch(w, rows)
-		return
+		return partialStatus(missing)
 	case "hybrid":
 		rows, err := experiments.HybridModes(experiments.SuiteNames(), s)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		experiments.RenderHybrid(w, rows)
-		return
+		return partialStatus(missing)
 	default:
-		log.Fatalf("unknown extension %q (have prefetch, l3prefetch, hybrid)", *ext)
+		log.Printf("unknown extension %q (have prefetch, l3prefetch, hybrid)", *ext)
+		return 1
 	}
 
 	switch *fig {
 	case 6:
 		rows, err := experiments.Fig6Profile(s)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		experiments.RenderFig6(w, rows)
 	case 7, 8:
@@ -127,7 +176,8 @@ func main() {
 		}
 		pts, err := experiments.CompilerSweep(bench, s)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		experiments.RenderCompilerSIMD(w, bench, pts, figure)
 	case 9, 10:
@@ -139,22 +189,40 @@ func main() {
 		}
 		rows, err := experiments.Fig910ExecTimes(names, s)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		experiments.RenderExecTimes(w, rows, figure)
 	case 11:
 		rows, err := experiments.Fig11L3Sweep(experiments.SuiteNames(), s)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		experiments.RenderFig11(w, rows)
 	case 12, 13, 14:
 		rows, err := experiments.Fig121314Modes(experiments.SuiteNames(), s)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		experiments.RenderModes(w, rows)
 	default:
-		log.Fatalf("unknown figure %d (the paper has figures 6-14)", *fig)
+		log.Printf("unknown figure %d (the paper has figures 6-14)", *fig)
+		return 1
 	}
+	return partialStatus(missing)
+}
+
+// partialStatus reports the missing points of a -keep-going sweep on stderr
+// and selects the exit status: 0 when complete, 3 when partial.
+func partialStatus(ms *experiments.MissingSet) int {
+	if ms.Missing() == 0 {
+		return 0
+	}
+	log.Printf("partial output: %d of %d points missing", ms.Missing(), ms.Total())
+	for _, label := range ms.Labels() {
+		log.Printf("  missing: %s", label)
+	}
+	return 3
 }

@@ -35,6 +35,43 @@ const DumpMagic = "BGPC"
 // DumpVersion is the current format version.
 const DumpVersion = 1
 
+// Fixed sizes of the binary layout above, used to compute field boundaries.
+const (
+	dumpHeaderBytes = 4 + 4 + 4 + 4 + 8 + 4             // magic..numSets
+	dumpSetBytes    = 4 + 8 + 8 + 8 + 8*upc.NumCounters // id..counts
+	dumpCRCBytes    = 4
+)
+
+// FieldBoundaries returns the byte offsets of every field boundary inside an
+// encoded dump blob, in ascending order: each offset is the first byte of a
+// header field, a per-set field, or the trailing CRC word, so truncating the
+// blob at any returned offset cuts the file exactly at a field edge. Offsets
+// are strictly inside the blob (0 and len(blob) are excluded). The fault
+// injector's byte corruptor uses this to land truncations on structurally
+// interesting positions.
+func FieldBoundaries(blob []byte) []int {
+	var offs []int
+	for _, o := range []int{4, 8, 12, 16, 24, dumpHeaderBytes} {
+		if o < len(blob) {
+			offs = append(offs, o)
+		}
+	}
+	if len(blob) < dumpHeaderBytes+dumpCRCBytes {
+		return offs
+	}
+	numSets := (len(blob) - dumpHeaderBytes - dumpCRCBytes) / dumpSetBytes
+	off := dumpHeaderBytes
+	for s := 0; s < numSets; s++ {
+		for _, sz := range []int{4, 8, 8, 8, 8 * upc.NumCounters} {
+			off += sz
+			if off < len(blob) {
+				offs = append(offs, off)
+			}
+		}
+	}
+	return offs
+}
+
 // Dump is a decoded per-node counter file.
 type Dump struct {
 	// NodeID is the node that wrote the dump.
@@ -140,7 +177,9 @@ func (cr *crcReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// ReadDump decodes and validates one node dump.
+// ReadDump decodes and validates one node dump. The reader must contain
+// exactly one dump: duplicate set ids, a checksum mismatch, and trailing
+// bytes after the CRC word are all rejected as corruption.
 func ReadDump(r io.Reader) (*Dump, error) {
 	cr := &crcReader{r: bufio.NewReader(r)}
 	read := func(v any) error { return binary.Read(cr, binary.BigEndian, v) }
@@ -174,6 +213,7 @@ func ReadDump(r io.Reader) (*Dump, error) {
 		ClockHz: clockHz,
 		Sets:    make([]DumpSet, numSets),
 	}
+	seen := make(map[uint32]bool, numSets)
 	for i := range d.Sets {
 		set := &d.Sets[i]
 		var id uint32
@@ -182,6 +222,10 @@ func ReadDump(r io.Reader) (*Dump, error) {
 				return nil, fmt.Errorf("bgpctr: truncated set %d: %w", i, err)
 			}
 		}
+		if seen[id] {
+			return nil, fmt.Errorf("bgpctr: duplicate set id %d", id)
+		}
+		seen[id] = true
 		set.ID = int(id)
 		if err := read(&set.Counts); err != nil {
 			return nil, fmt.Errorf("bgpctr: truncated counters of set %d: %w", i, err)
@@ -194,6 +238,10 @@ func ReadDump(r io.Reader) (*Dump, error) {
 	}
 	if got != want {
 		return nil, fmt.Errorf("bgpctr: checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	var trailing [1]byte
+	if _, err := io.ReadFull(cr.r, trailing[:]); err != io.EOF {
+		return nil, fmt.Errorf("bgpctr: trailing garbage after checksum")
 	}
 	return d, nil
 }

@@ -1,0 +1,64 @@
+package bgpctr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bgpsim/internal/upc"
+)
+
+// The decoder's structural-validation hardening: duplicate set ids and
+// trailing bytes after the CRC word are corruption even though the checksum
+// of the mutated region can be made to match (a duplicated set re-CRCs
+// fine; appended garbage sits beyond the checksummed span).
+
+func TestReadDumpRejectsDuplicateSetIDs(t *testing.T) {
+	d := &Dump{
+		NodeID:  1,
+		Mode:    upc.Mode2,
+		ClockHz: 850_000_000,
+		Sets: []DumpSet{
+			{ID: 3, Pairs: 1},
+			{ID: 3, Pairs: 2}, // duplicate id: invalid bracketing
+		},
+	}
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadDump(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("dump with duplicate set ids accepted")
+	}
+	if !strings.Contains(err.Error(), "duplicate set id") {
+		t.Errorf("err = %v, want a duplicate-set-id error", err)
+	}
+}
+
+func TestReadDumpRejectsTrailingGarbage(t *testing.T) {
+	d := &Dump{NodeID: 2, Mode: upc.Mode3, ClockHz: 850_000_000,
+		Sets: []DumpSet{{ID: 0, Pairs: 1}}}
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	// The pristine blob decodes.
+	if _, err := ReadDump(bytes.NewReader(blob)); err != nil {
+		t.Fatalf("pristine dump rejected: %v", err)
+	}
+	// Any trailing bytes — a single zero, or a whole second dump — are
+	// rejected.
+	for _, tail := range [][]byte{{0x00}, []byte("junk"), blob} {
+		bad := append(append([]byte(nil), blob...), tail...)
+		_, err := ReadDump(bytes.NewReader(bad))
+		if err == nil {
+			t.Fatalf("dump with %d trailing bytes accepted", len(tail))
+		}
+		if !strings.Contains(err.Error(), "trailing garbage") {
+			t.Errorf("err = %v, want a trailing-garbage error", err)
+		}
+	}
+}

@@ -10,7 +10,11 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"time"
 
 	"bgpsim/internal/compiler"
 	"bgpsim/internal/machine"
@@ -43,18 +47,143 @@ type Scale struct {
 	// bit-identical either way; the flag exists for the benchmark
 	// harness's engine-speedup baseline.
 	Interpreter bool
+
+	// KeepGoing degrades gracefully instead of failing the whole figure:
+	// runs that fail (after retries) leave their points marked Missing,
+	// recorded in Missing, and every completed point still renders. None
+	// of this perturbs completed runs — a recovered figure's points are
+	// identical to a clean run's (the chaos harness pins this).
+	KeepGoing bool
+	// Retries is the per-run retry budget for transient failures.
+	Retries int
+	// RunTimeout, when positive, bounds each run attempt.
+	RunTimeout time.Duration
+	// CheckpointDir, when non-empty, persists each completed run there so
+	// an interrupted figure can resume. Every figure's sweep shares the
+	// directory; keys never collide (see bgp.RunKey).
+	CheckpointDir string
+	// Resume restores validated checkpoint entries instead of re-running.
+	Resume bool
+	// ResumeOnly renders from the checkpoint alone: missing runs become
+	// Missing points (with KeepGoing) rather than executing.
+	ResumeOnly bool
+	// Missing, when non-nil, collects the labels of points that failed or
+	// were absent from the checkpoint, for the report's partial-output
+	// diagnostics.
+	Missing *MissingSet
+}
+
+// MissingSet accumulates the identity of every figure point that could not
+// be computed, plus the total attempted, so reports can state exactly what a
+// partial rendering is missing. A nil *MissingSet is inert; methods are safe
+// for concurrent use.
+type MissingSet struct {
+	mu     sync.Mutex
+	total  int
+	labels []string
+}
+
+func (ms *MissingSet) add(label string) {
+	if ms == nil {
+		return
+	}
+	ms.mu.Lock()
+	ms.labels = append(ms.labels, label)
+	ms.mu.Unlock()
+}
+
+func (ms *MissingSet) addTotal(n int) {
+	if ms == nil {
+		return
+	}
+	ms.mu.Lock()
+	ms.total += n
+	ms.mu.Unlock()
+}
+
+// Missing returns the number of points that could not be computed.
+func (ms *MissingSet) Missing() int {
+	if ms == nil {
+		return 0
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return len(ms.labels)
+}
+
+// Total returns the number of points attempted across every sweep run with
+// this set.
+func (ms *MissingSet) Total() int {
+	if ms == nil {
+		return 0
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.total
+}
+
+// Labels returns the missing points' labels, sorted.
+func (ms *MissingSet) Labels() []string {
+	if ms == nil {
+		return nil
+	}
+	ms.mu.Lock()
+	out := append([]string(nil), ms.labels...)
+	ms.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// PointLabel identifies one sweep point for diagnostics: benchmark × class ×
+// mode × build, plus whichever machine overrides the figure sweeps.
+func PointLabel(cfg bgp.RunConfig) string {
+	label := fmt.Sprintf("%s.%v %v %v", cfg.Benchmark, cfg.Class, cfg.Mode, cfg.Opts)
+	switch {
+	case cfg.L3Bytes < 0:
+		label += " l3=off"
+	case cfg.L3Bytes > 0:
+		label += fmt.Sprintf(" l3=%dMB", cfg.L3Bytes>>20)
+	}
+	if cfg.L2PrefetchDepth != 0 {
+		label += fmt.Sprintf(" l2pf=%d", cfg.L2PrefetchDepth)
+	}
+	if cfg.L3PrefetchDepth != 0 {
+		label += fmt.Sprintf(" l3pf=%d", cfg.L3PrefetchDepth)
+	}
+	return label
 }
 
 // runAll fans the configurations out over the scale's worker pool and
-// returns the results in cfgs order.
+// returns the results in cfgs order. With KeepGoing, per-run failures are
+// absorbed: the failed positions come back nil, their labels land in
+// s.Missing, and the error is nil so the figure renders partially. A dead
+// context (interrupt) still fails the figure.
 func runAll(s Scale, cfgs []bgp.RunConfig) ([]*bgp.Result, error) {
 	for i := range cfgs {
 		cfgs[i].Interpreter = s.Interpreter
 	}
-	return bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{
-		Workers:  s.Jobs,
-		Progress: s.Progress,
+	s.Missing.addTotal(len(cfgs))
+	results, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{
+		Workers:         s.Jobs,
+		Progress:        s.Progress,
+		Retries:         s.Retries,
+		RunTimeout:      s.RunTimeout,
+		ContinueOnError: s.KeepGoing,
+		CheckpointDir:   s.CheckpointDir,
+		Resume:          s.Resume,
+		ResumeOnly:      s.ResumeOnly,
 	})
+	if err != nil {
+		var se *sweep.SweepError
+		if s.KeepGoing && errors.As(err, &se) && se.Cause == nil {
+			for _, f := range se.Failed {
+				s.Missing.add(PointLabel(cfgs[f.Index]))
+			}
+			return results, nil
+		}
+		return nil, err
+	}
+	return results, nil
 }
 
 // FullScale is the paper's configuration: class C with 128 processes
@@ -91,6 +220,9 @@ type ProfileRow struct {
 	Fractions map[string]float64
 	// Metrics is the run the row was computed from.
 	Metrics *postproc.Metrics
+	// Missing marks a row whose run failed under KeepGoing; Fractions and
+	// Metrics are then empty/nil and the row renders as dashes.
+	Missing bool
 }
 
 // Fig6Profile reproduces Figure 6: the dynamic floating-point instruction
@@ -113,6 +245,10 @@ func Fig6Profile(s Scale) ([]ProfileRow, error) {
 	}
 	rows := make([]ProfileRow, 0, len(names))
 	for i, res := range results {
+		if res == nil {
+			rows = append(rows, ProfileRow{Benchmark: names[i], Missing: true})
+			continue
+		}
 		row := ProfileRow{
 			Benchmark: names[i],
 			Fractions: make(map[string]float64, len(postproc.FPClassEvents)),
@@ -145,6 +281,9 @@ type CompilerPoint struct {
 	ExecCycles uint64
 	// MFLOPS is the achieved rate.
 	MFLOPS float64
+	// Missing marks a point whose run failed under KeepGoing; every other
+	// field except Opts is then zero.
+	Missing bool
 }
 
 // CompilerConfigs returns the build configurations of the compiler study in
@@ -221,7 +360,11 @@ func Fig910ExecTimes(benchmarks []string, s Scale) ([]ExecTimeRow, error) {
 	for i, name := range benchmarks {
 		pts := make([]CompilerPoint, len(builds))
 		for k, opts := range builds {
-			pts[k] = compilerPoint(opts, results[i*len(builds)+k].Metrics)
+			if res := results[i*len(builds)+k]; res != nil {
+				pts[k] = compilerPoint(opts, res.Metrics)
+			} else {
+				pts[k] = CompilerPoint{Opts: opts, Missing: true}
+			}
 		}
 		rows = append(rows, ExecTimeRow{Benchmark: name, Points: pts})
 	}
@@ -243,6 +386,8 @@ type L3Point struct {
 	// MissFraction is the fraction of L3 references that missed
 	// (0 when the L3 is disabled).
 	MissFraction float64
+	// Missing marks a point whose run failed under KeepGoing.
+	Missing bool
 }
 
 // L3Row is one benchmark's Figure 11 series.
@@ -284,7 +429,12 @@ func Fig11L3Sweep(benchmarks []string, s Scale) ([]L3Row, error) {
 	for i, name := range benchmarks {
 		row := L3Row{Benchmark: name, Points: make([]L3Point, len(sizes))}
 		for k, l3 := range sizes {
-			m := results[i*len(sizes)+k].Metrics
+			res := results[i*len(sizes)+k]
+			if res == nil {
+				row.Points[k] = L3Point{L3Bytes: l3, Missing: true}
+				continue
+			}
+			m := res.Metrics
 			row.Points[k] = L3Point{
 				L3Bytes:         l3,
 				DDRTrafficBytes: m.DDRTrafficBytes,
@@ -317,6 +467,9 @@ type ModeRow struct {
 	// MFLOPSPerChipGain is delivered MFLOPS per chip of VNM over SMP/1
 	// (Figure 14; ≈2.5× on average).
 	MFLOPSPerChipGain float64
+	// Missing marks a row where either run failed under KeepGoing; the
+	// ratios are then zero and the row is excluded from the means.
+	Missing bool
 }
 
 // SMPFairL3Bytes is the reduced L3 capacity the paper boots SMP/1 nodes
@@ -353,6 +506,17 @@ func Fig121314Modes(benchmarks []string, s Scale) ([]ModeRow, error) {
 	rows := make([]ModeRow, 0, len(benchmarks))
 	for i, name := range benchmarks {
 		vnm, smp := results[2*i], results[2*i+1]
+		if vnm == nil || smp == nil {
+			row := ModeRow{Benchmark: name, Missing: true}
+			if vnm != nil {
+				row.VNM = vnm.Metrics
+			}
+			if smp != nil {
+				row.SMP = smp.Metrics
+			}
+			rows = append(rows, row)
+			continue
+		}
 		row := ModeRow{Benchmark: name, VNM: vnm.Metrics, SMP: smp.Metrics}
 		vnmNodes := float64(vnm.Metrics.Nodes)
 		smpNodes := float64(smp.Metrics.Nodes)

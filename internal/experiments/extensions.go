@@ -30,6 +30,8 @@ type PrefetchPoint struct {
 	// L2HitFraction is the share of below-L1 demand accesses served by
 	// the prefetch buffer.
 	L2HitFraction float64
+	// Missing marks a point whose run failed under KeepGoing.
+	Missing bool
 }
 
 // PrefetchRow is one benchmark's prefetch-depth series.
@@ -67,6 +69,10 @@ func PrefetchSweep(benchmarks []string, s Scale) ([]PrefetchRow, error) {
 		row := PrefetchRow{Benchmark: name, Points: make([]PrefetchPoint, len(depths))}
 		for k, depth := range depths {
 			res := results[i*len(depths)+k]
+			if res == nil {
+				row.Points[k] = PrefetchPoint{Depth: depth, Missing: true}
+				continue
+			}
 			hits := res.Analysis.EstimatedTotal(0, "BGP_NODE_L2_PF_HIT")
 			misses := res.Analysis.EstimatedTotal(0, "BGP_NODE_L2_MISS")
 			var frac float64
@@ -99,20 +105,31 @@ func RenderPrefetch(w io.Writer, rows []PrefetchRow) {
 		}
 	}
 	table := make([][]string, 0, len(rows))
+	missing, total := 0, 0
 	for _, r := range rows {
 		var base float64
 		for _, p := range r.Points {
-			if p.Depth == 2 {
+			if p.Depth == 2 && !p.Missing {
 				base = float64(p.ExecCycles)
 			}
 		}
 		row := []string{r.Benchmark}
 		for _, p := range r.Points {
-			row = append(row, fmt.Sprintf("%.3g (%.2f)", float64(p.ExecCycles), float64(p.ExecCycles)/base))
+			total++
+			switch {
+			case p.Missing:
+				missing++
+				row = append(row, missingCell)
+			case base > 0:
+				row = append(row, fmt.Sprintf("%.3g (%.2f)", float64(p.ExecCycles), float64(p.ExecCycles)/base))
+			default:
+				row = append(row, fmt.Sprintf("%.3g (%s)", float64(p.ExecCycles), missingCell))
+			}
 		}
 		table = append(table, row)
 	}
 	writeTable(w, header, table)
+	partialNote(w, missing, total)
 }
 
 // L3PrefetchDepths returns the memory-side L3 prefetch depths of the sweep.
@@ -145,6 +162,10 @@ func L3PrefetchSweep(benchmarks []string, s Scale) ([]PrefetchRow, error) {
 		row := PrefetchRow{Benchmark: name, Points: make([]PrefetchPoint, len(depths))}
 		for k, depth := range depths {
 			res := results[i*len(depths)+k]
+			if res == nil {
+				row.Points[k] = PrefetchPoint{Depth: depth, Missing: true}
+				continue
+			}
 			row.Points[k] = PrefetchPoint{
 				Depth:           depth,
 				ExecCycles:      res.Metrics.ExecCycles,
@@ -170,15 +191,29 @@ func RenderL3Prefetch(w io.Writer, rows []PrefetchRow) {
 		}
 	}
 	table := make([][]string, 0, len(rows))
+	missing, total := 0, 0
 	for _, r := range rows {
-		base := float64(r.Points[0].ExecCycles)
+		var base float64
+		if !r.Points[0].Missing {
+			base = float64(r.Points[0].ExecCycles)
+		}
 		row := []string{r.Benchmark}
 		for _, p := range r.Points {
-			row = append(row, fmt.Sprintf("%.3g (%.2f)", float64(p.ExecCycles), float64(p.ExecCycles)/base))
+			total++
+			switch {
+			case p.Missing:
+				missing++
+				row = append(row, missingCell)
+			case base > 0:
+				row = append(row, fmt.Sprintf("%.3g (%.2f)", float64(p.ExecCycles), float64(p.ExecCycles)/base))
+			default:
+				row = append(row, fmt.Sprintf("%.3g (%s)", float64(p.ExecCycles), missingCell))
+			}
 		}
 		table = append(table, row)
 	}
 	writeTable(w, header, table)
+	partialNote(w, missing, total)
 }
 
 // HybridRow compares pure-MPI virtual-node mode against hybrid MPI+OpenMP
@@ -192,6 +227,8 @@ type HybridRow struct {
 	TimeRatio float64
 	// TrafficRatio is SMP/4 DDR traffic over VNM.
 	TrafficRatio float64
+	// Missing marks a row where either run failed under KeepGoing.
+	Missing bool
 }
 
 // HybridModes runs the §IX "OpenMP with MPI on the multicore nodes" study:
@@ -224,6 +261,17 @@ func HybridModes(benchmarks []string, s Scale) ([]HybridRow, error) {
 	rows := make([]HybridRow, 0, len(benchmarks))
 	for i, name := range benchmarks {
 		vnm, smp4 := results[2*i], results[2*i+1]
+		if vnm == nil || smp4 == nil {
+			row := HybridRow{Benchmark: name, Missing: true}
+			if vnm != nil {
+				row.VNM = vnm.Metrics
+			}
+			if smp4 != nil {
+				row.SMP4 = smp4.Metrics
+			}
+			rows = append(rows, row)
+			continue
+		}
 		row := HybridRow{Benchmark: name, VNM: vnm.Metrics, SMP4: smp4.Metrics}
 		if vnm.Metrics.ExecCycles > 0 {
 			row.TimeRatio = float64(smp4.Metrics.ExecCycles) / float64(vnm.Metrics.ExecCycles)
@@ -240,7 +288,19 @@ func HybridModes(benchmarks []string, s Scale) ([]HybridRow, error) {
 func RenderHybrid(w io.Writer, rows []HybridRow) {
 	fmt.Fprintln(w, "Extension: hybrid MPI+OpenMP (SMP/4) vs pure MPI (VNM), equal cores")
 	table := make([][]string, 0, len(rows))
+	missing := 0
 	for _, r := range rows {
+		if r.Missing {
+			missing++
+			cyc := func(m *postproc.Metrics) string {
+				if m == nil {
+					return missingCell
+				}
+				return fmt.Sprintf("%.3g", float64(m.ExecCycles))
+			}
+			table = append(table, []string{r.Benchmark, cyc(r.VNM), cyc(r.SMP4), missingCell, missingCell})
+			continue
+		}
 		table = append(table, []string{
 			r.Benchmark,
 			fmt.Sprintf("%.3g", float64(r.VNM.ExecCycles)),
@@ -250,4 +310,5 @@ func RenderHybrid(w io.Writer, rows []HybridRow) {
 		})
 	}
 	writeTable(w, []string{"benchmark", "VNM cycles", "SMP/4 cycles", "time ratio", "traffic ratio"}, table)
+	partialNote(w, missing, len(rows))
 }

@@ -33,6 +33,18 @@ var fpClassOrder = []string{
 	"BGP_NODE_FPU_SIMD_DIV",
 }
 
+// missingCell renders a point whose run failed or was absent from the
+// checkpoint (KeepGoing / ResumeOnly graceful degradation).
+const missingCell = "—"
+
+// partialNote flags a partially-rendered figure; complete figures print
+// nothing.
+func partialNote(w io.Writer, missing, total int) {
+	if missing > 0 {
+		fmt.Fprintf(w, "partial: %d of %d points missing\n", missing, total)
+	}
+}
+
 func writeTable(w io.Writer, header []string, rows [][]string) {
 	widths := make([]int, len(header))
 	for i, h := range header {
@@ -70,22 +82,37 @@ func RenderFig6(w io.Writer, rows []ProfileRow) {
 		header = append(header, shortClassNames[ev])
 	}
 	table := make([][]string, 0, len(rows))
+	missing := 0
 	for _, r := range rows {
 		row := []string{r.Benchmark}
 		for _, ev := range fpClassOrder {
-			row = append(row, fmt.Sprintf("%5.1f%%", 100*r.Fractions[ev]))
+			if r.Missing {
+				row = append(row, missingCell)
+			} else {
+				row = append(row, fmt.Sprintf("%5.1f%%", 100*r.Fractions[ev]))
+			}
+		}
+		if r.Missing {
+			missing++
 		}
 		table = append(table, row)
 	}
 	fmt.Fprintln(w, "Figure 6: dynamic FP instruction profile (share of FP instructions)")
 	writeTable(w, header, table)
+	partialNote(w, missing, len(rows))
 }
 
 // RenderCompilerSIMD prints a Figure 7/8-style SIMD instruction table.
 func RenderCompilerSIMD(w io.Writer, benchmark string, pts []CompilerPoint, figure string) {
 	fmt.Fprintf(w, "%s: %s — SIMD instructions by build\n", figure, strings.ToUpper(benchmark))
 	table := make([][]string, 0, len(pts))
+	missing := 0
 	for _, p := range pts {
+		if p.Missing {
+			missing++
+			table = append(table, []string{p.Opts.String(), missingCell, missingCell})
+			continue
+		}
 		table = append(table, []string{
 			p.Opts.String(),
 			fmt.Sprintf("%.3g", p.SIMDInstructions),
@@ -93,6 +120,7 @@ func RenderCompilerSIMD(w io.Writer, benchmark string, pts []CompilerPoint, figu
 		})
 	}
 	writeTable(w, []string{"build", "simd instructions", "simd share"}, table)
+	partialNote(w, missing, len(pts))
 }
 
 // RenderExecTimes prints a Figure 9/10-style execution-time table: one row
@@ -106,15 +134,30 @@ func RenderExecTimes(w io.Writer, rows []ExecTimeRow, figure string) {
 		}
 	}
 	table := make([][]string, 0, len(rows))
+	missing, total := 0, 0
 	for _, r := range rows {
 		row := []string{r.Benchmark}
-		base := float64(r.Points[0].ExecCycles)
+		var base float64
+		if !r.Points[0].Missing {
+			base = float64(r.Points[0].ExecCycles)
+		}
 		for _, p := range r.Points {
-			row = append(row, fmt.Sprintf("%.3g (%.2f)", float64(p.ExecCycles), float64(p.ExecCycles)/base))
+			total++
+			switch {
+			case p.Missing:
+				missing++
+				row = append(row, missingCell)
+			case base > 0:
+				row = append(row, fmt.Sprintf("%.3g (%.2f)", float64(p.ExecCycles), float64(p.ExecCycles)/base))
+			default:
+				// Baseline build missing: absolute cycles only.
+				row = append(row, fmt.Sprintf("%.3g (%s)", float64(p.ExecCycles), missingCell))
+			}
 		}
 		table = append(table, row)
 	}
 	writeTable(w, header, table)
+	partialNote(w, missing, total)
 }
 
 // RenderFig11 prints the L3-size sweep table: DDR traffic per benchmark and
@@ -128,15 +171,29 @@ func RenderFig11(w io.Writer, rows []L3Row) {
 		}
 	}
 	table := make([][]string, 0, len(rows))
+	missing, total := 0, 0
 	for _, r := range rows {
 		row := []string{r.Benchmark}
-		base := float64(r.Points[0].DDRTrafficBytes)
+		var base float64
+		if !r.Points[0].Missing {
+			base = float64(r.Points[0].DDRTrafficBytes)
+		}
 		for _, p := range r.Points {
-			row = append(row, fmt.Sprintf("%.3g (%.2f)", float64(p.DDRTrafficBytes), float64(p.DDRTrafficBytes)/base))
+			total++
+			switch {
+			case p.Missing:
+				missing++
+				row = append(row, missingCell)
+			case base > 0:
+				row = append(row, fmt.Sprintf("%.3g (%.2f)", float64(p.DDRTrafficBytes), float64(p.DDRTrafficBytes)/base))
+			default:
+				row = append(row, fmt.Sprintf("%.3g (%s)", float64(p.DDRTrafficBytes), missingCell))
+			}
 		}
 		table = append(table, row)
 	}
 	writeTable(w, header, table)
+	partialNote(w, missing, total)
 }
 
 // RenderModes prints the Figures 12-14 comparison table.
@@ -144,7 +201,13 @@ func RenderModes(w io.Writer, rows []ModeRow) {
 	fmt.Fprintln(w, "Figures 12-14: virtual-node mode (4 ranks/node, 8MB L3) vs SMP/1 (1 rank/node, 2MB L3)")
 	table := make([][]string, 0, len(rows))
 	var ratios, slows, gains []float64
+	missing := 0
 	for _, r := range rows {
+		if r.Missing {
+			missing++
+			table = append(table, []string{r.Benchmark, missingCell, missingCell, missingCell})
+			continue
+		}
 		table = append(table, []string{
 			r.Benchmark,
 			fmt.Sprintf("%.2f", r.TrafficRatio),
@@ -155,6 +218,7 @@ func RenderModes(w io.Writer, rows []ModeRow) {
 		slows = append(slows, r.SlowdownPct)
 		gains = append(gains, r.MFLOPSPerChipGain)
 	}
+	// The means cover complete rows only.
 	table = append(table, []string{
 		"mean",
 		fmt.Sprintf("%.2f", Mean(ratios)),
@@ -164,4 +228,5 @@ func RenderModes(w io.Writer, rows []ModeRow) {
 	writeTable(w, []string{
 		"benchmark", "DDR traffic ratio (fig12)", "exec time increase (fig13)", "MFLOPS/chip gain (fig14)",
 	}, table)
+	partialNote(w, missing, len(rows))
 }

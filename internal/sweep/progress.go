@@ -20,6 +20,8 @@ type Progress struct {
 	started   int
 	finished  int
 	failed    int
+	skipped   int
+	retried   int
 	wall      time.Duration
 	simCycles uint64
 }
@@ -46,6 +48,22 @@ func (p *Progress) RunFinished(_ int, wall time.Duration, err error) {
 	}
 }
 
+// RunSkipped records a run that never started because the sweep aborted
+// first — skipped runs are distinct from failed ones (which started and
+// errored).
+func (p *Progress) RunSkipped(int) {
+	p.mu.Lock()
+	p.skipped++
+	p.mu.Unlock()
+}
+
+// RunRetried records a retry of a transiently-failed run being scheduled.
+func (p *Progress) RunRetried(int, int, error) {
+	p.mu.Lock()
+	p.retried++
+	p.mu.Unlock()
+}
+
 // AddSimCycles credits n simulated cycles to the sweep's throughput
 // figure. Task bodies call it with each completed run's cycle count.
 func (p *Progress) AddSimCycles(n uint64) {
@@ -54,10 +72,16 @@ func (p *Progress) AddSimCycles(n uint64) {
 	p.mu.Unlock()
 }
 
-// Hooks returns an Options with this tracker's methods installed; callers
-// overwrite Workers (and may wrap the hooks) as needed.
+// Hooks returns an Options with this tracker's methods installed (including
+// the skip hook and the retry observer); callers overwrite Workers, retry
+// limits and failure semantics (and may wrap the hooks) as needed.
 func (p *Progress) Hooks() Options {
-	return Options{OnStart: p.RunStarted, OnFinish: p.RunFinished}
+	return Options{
+		OnStart:  p.RunStarted,
+		OnFinish: p.RunFinished,
+		OnSkip:   p.RunSkipped,
+		Retry:    RetryPolicy{OnRetry: p.RunRetried},
+	}
 }
 
 // Snapshot is a consistent copy of a tracker's counters.
@@ -65,6 +89,9 @@ type Snapshot struct {
 	// Started and Finished count runs picked up and completed; Failed
 	// counts completions with an error.
 	Started, Finished, Failed int
+	// Skipped counts runs never started because the sweep aborted first;
+	// Retried counts retry attempts scheduled after transient failures.
+	Skipped, Retried int
 	// Wall is the summed per-run host wall time (it exceeds Elapsed when
 	// runs overlap — the ratio is the achieved parallelism).
 	Wall time.Duration
@@ -82,6 +109,8 @@ func (p *Progress) Snapshot() Snapshot {
 		Started:   p.started,
 		Finished:  p.finished,
 		Failed:    p.failed,
+		Skipped:   p.skipped,
+		Retried:   p.retried,
 		Wall:      p.wall,
 		SimCycles: p.simCycles,
 	}
@@ -111,6 +140,6 @@ func (s Snapshot) Parallelism() float64 {
 
 // String formats a one-line progress report.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("%d/%d runs done (%d failed), %.1fx parallel, %.3g sim-cycles/s",
-		s.Finished, s.Started, s.Failed, s.Parallelism(), s.CyclesPerSec())
+	return fmt.Sprintf("%d/%d runs done (%d failed, %d skipped, %d retried), %.1fx parallel, %.3g sim-cycles/s",
+		s.Finished, s.Started, s.Failed, s.Skipped, s.Retried, s.Parallelism(), s.CyclesPerSec())
 }

@@ -2,10 +2,19 @@ package bgp
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
+	"bgpsim/internal/bgpctr"
+	"bgpsim/internal/faults"
 	"bgpsim/internal/sweep"
 )
+
+// ErrNotCheckpointed is returned (wrapped, per run) by a ResumeOnly sweep
+// for runs with no valid checkpoint entry: nothing is executed, the run is
+// simply reported missing.
+var ErrNotCheckpointed = errors.New("bgp: run not in checkpoint")
 
 // SweepConfig configures a parallel sweep of independent runs.
 //
@@ -14,37 +23,133 @@ import (
 // chain, so every run produces exactly the counter values it would produce
 // serially — RunAll at any worker count yields byte-identical dumps and
 // metrics to a loop over Run (the determinism harness in bgp_parallel_test
-// asserts this per operating mode).
+// asserts this per operating mode). The same holds across failures: a
+// retried, resumed or previously-panicked run re-executes from scratch with
+// its own fresh machine and RNG streams, so recovery never perturbs counter
+// values (the chaos harness in bgp_chaos_test pins this byte-for-byte).
 type SweepConfig struct {
 	// Workers bounds the number of simulations in flight; values below 1
 	// mean runtime.GOMAXPROCS(0).
 	Workers int
-	// Progress, when non-nil, observes runs starting and finishing and
-	// accumulates aggregate simulated-cycle throughput.
+	// Progress, when non-nil, observes runs starting, finishing, being
+	// retried and being skipped, and accumulates aggregate
+	// simulated-cycle throughput.
 	Progress *sweep.Progress
-	// OnResult, when non-nil, is called with each completed result. It
-	// may be called concurrently from several workers and must not
-	// mutate the result.
+	// OnResult, when non-nil, is called with each completed result
+	// (including results restored from a checkpoint). It may be called
+	// concurrently from several workers and must not mutate the result.
 	OnResult func(index int, res *Result)
+
+	// Retries is the per-run retry budget for failures classified
+	// transient (injected transient faults, panics, and per-run deadline
+	// overruns), with capped exponential backoff between attempts.
+	Retries int
+	// RunTimeout, when positive, bounds each attempt of each run with a
+	// derived context deadline; an overrun attempt counts as transient.
+	RunTimeout time.Duration
+	// ContinueOnError keeps the sweep going past failed runs: RunAll then
+	// returns every successful result, with nils at failed positions, and
+	// one *sweep.SweepError listing the per-run failures.
+	ContinueOnError bool
+
+	// CheckpointDir, when non-empty, persists each completed run's CRC'd
+	// dump set under a per-run directory there, committing an atomic
+	// manifest after every run.
+	CheckpointDir string
+	// Resume restores runs whose manifest entry validates (configuration
+	// fingerprint, file sizes and CRCs all match) instead of re-executing
+	// them; runs with missing or corrupt artifacts re-run. Restored
+	// results carry no Timeline.
+	Resume bool
+	// ResumeOnly renders from the checkpoint alone: runs without a valid
+	// entry fail with ErrNotCheckpointed instead of executing. Combine
+	// with ContinueOnError to get partial results from an incomplete
+	// checkpoint.
+	ResumeOnly bool
+	// OnRestore, when non-nil, observes runs restored from the checkpoint
+	// rather than executed. It may be called concurrently.
+	OnRestore func(index int)
+
+	// Faults, when non-nil, is the deterministic fault injector consulted
+	// once per attempt; it exists so every recovery path above is
+	// exercisable in CI, byte-for-byte reproducibly. Injected faults
+	// never touch simulation RNG streams.
+	Faults *faults.Injector
 }
 
 // RunAll executes independent runs concurrently on a bounded worker pool
-// and returns the results in cfgs order. The first failure cancels runs
-// not yet started and is returned wrapped with the run's position and
-// configuration; a cancelled ctx stops the sweep the same way.
+// and returns the results in cfgs order. Under the default semantics the
+// first failure cancels runs not yet started and is returned wrapped with
+// the run's position and configuration; a cancelled ctx stops the sweep the
+// same way. With ContinueOnError, failures are gathered instead (see
+// SweepConfig); with CheckpointDir and Resume, completed runs persist and
+// valid checkpoint entries are restored instead of re-executed.
 func RunAll(ctx context.Context, cfgs []RunConfig, sc SweepConfig) ([]*Result, error) {
-	opts := sweep.Options{Workers: sc.Workers}
+	opts := sweep.Options{
+		Workers:         sc.Workers,
+		ContinueOnError: sc.ContinueOnError,
+		RunTimeout:      sc.RunTimeout,
+		Retry:           sweep.RetryPolicy{Retries: sc.Retries},
+	}
 	if sc.Progress != nil {
 		opts.OnStart = sc.Progress.RunStarted
 		opts.OnFinish = sc.Progress.RunFinished
+		opts.OnSkip = sc.Progress.RunSkipped
+		opts.Retry.OnRetry = sc.Progress.RunRetried
+	}
+	var ckpt *checkpoint
+	if sc.CheckpointDir != "" {
+		var err error
+		ckpt, err = openCheckpoint(sc.CheckpointDir, sc.Resume || sc.ResumeOnly)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return sweep.Map(ctx, cfgs, func(ctx context.Context, i int, cfg RunConfig) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		key := RunKey(i, cfg)
+		if ckpt != nil && (sc.Resume || sc.ResumeOnly) {
+			if res := ckpt.restore(key, cfg); res != nil {
+				if sc.OnRestore != nil {
+					sc.OnRestore(i)
+				}
+				if sc.OnResult != nil {
+					sc.OnResult(i, res)
+				}
+				return res, nil
+			}
+			if sc.ResumeOnly {
+				return nil, fmt.Errorf("run %d (%s.%s %v): %w", i, cfg.Benchmark, cfg.Class, cfg.Mode, ErrNotCheckpointed)
+			}
+		}
+		// Consult the fault injector once per attempt; pre-run faults
+		// fire before the simulation so retries re-execute from scratch.
+		kind := sc.Faults.Next(key)
+		switch kind {
+		case faults.Transient:
+			return nil, fmt.Errorf("run %d (%s.%s %v): %w", i, cfg.Benchmark, cfg.Class, cfg.Mode, sc.Faults.Errorf(key))
+		case faults.Panic:
+			panic(fmt.Sprintf("faults: injected panic in run %d (%s)", i, key))
+		case faults.Stall:
+			<-ctx.Done()
+			return nil, fmt.Errorf("run %d (%s.%s %v) stalled: %w", i, cfg.Benchmark, cfg.Class, cfg.Mode, ctx.Err())
+		}
 		res, err := Run(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("run %d (%s.%s %v): %w", i, cfg.Benchmark, cfg.Class, cfg.Mode, err)
+		}
+		if ckpt != nil {
+			var mutate func(name string, blob []byte) []byte
+			if kind == faults.CorruptDump {
+				mutate = func(name string, blob []byte) []byte {
+					return sc.Faults.Corrupt(key+"/"+name, blob, bgpctr.FieldBoundaries(blob))
+				}
+			}
+			if err := ckpt.persist(key, cfg, res, mutate); err != nil {
+				return nil, fmt.Errorf("run %d (%s.%s %v): checkpoint: %w", i, cfg.Benchmark, cfg.Class, cfg.Mode, err)
+			}
 		}
 		if sc.Progress != nil {
 			sc.Progress.AddSimCycles(res.Metrics.ExecCycles)
