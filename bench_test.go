@@ -25,6 +25,7 @@ import (
 	"bgpsim/internal/experiments"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/node"
+	"bgpsim/internal/obs"
 	"bgpsim/internal/upc"
 )
 
@@ -97,6 +98,25 @@ func BenchmarkFig06InstructionProfile(b *testing.B) {
 	}
 	if d := b.Elapsed().Seconds(); d > 0 {
 		b.ReportMetric(simCycles*float64(b.N)/d, "sim-cycles/s")
+	}
+}
+
+// BenchmarkFig06InstructionProfileObserved is the figure-6 benchmark with
+// a full metrics recorder attached. Compared against the nil-observer run
+// above it measures the observability overhead; scripts/bench.sh records
+// the ratio as fig06_observer_over_nil in BENCH_core.json (the budget is
+// <2%).
+func BenchmarkFig06InstructionProfileObserved(b *testing.B) {
+	s := benchScale()
+	s.Observer = obs.NewRecorder(obs.NewRegistry(), nil)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6Profile(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 8 {
+			b.Fatalf("profile rows = %d", len(rows))
+		}
 	}
 }
 

@@ -27,12 +27,15 @@ package bgp
 
 import (
 	"fmt"
+	"time"
 
 	"bgpsim/internal/bgpctr"
 	"bgpsim/internal/compiler"
+	"bgpsim/internal/core"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
 	"bgpsim/internal/nas"
+	"bgpsim/internal/obs"
 	"bgpsim/internal/postproc"
 )
 
@@ -55,6 +58,13 @@ type (
 	Dump = bgpctr.Dump
 	// Sampler is the periodic counter-timeline collector.
 	Sampler = bgpctr.Sampler
+	// Observer receives a run's observability events (phase wall times,
+	// aggregate machine statistics, sweep events, simulated-clock spans).
+	// See internal/obs for the standard Recorder implementation.
+	Observer = obs.Observer
+	// RunStats is the aggregate machine accounting reported to an
+	// Observer after each run.
+	RunStats = obs.RunStats
 )
 
 // NAS problem classes.
@@ -143,6 +153,15 @@ type RunConfig struct {
 	TimelineInterval uint64
 	// TimelineEvents are the event mnemonics to sample.
 	TimelineEvents []string
+	// Observer, when non-nil, receives the run's observability events:
+	// per-phase wall times, simulated-clock spans while the job runs,
+	// and the aggregate machine statistics on completion. Observation is
+	// passive — counters are read after the job finishes — so an
+	// attached observer never perturbs a counter value or dump byte,
+	// and a nil observer costs nothing (obs_hooks_test pins the nil path
+	// to zero allocations). The observer is excluded from checkpoint
+	// fingerprints, like DumpDir.
+	Observer Observer
 }
 
 // Result is a completed instrumented run.
@@ -164,6 +183,7 @@ type Result struct {
 
 // Run executes one instrumented benchmark run end to end.
 func Run(cfg RunConfig) (*Result, error) {
+	start := time.Now()
 	b, err := nas.ByName(cfg.Benchmark)
 	if err != nil {
 		return nil, err
@@ -176,7 +196,10 @@ func Run(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	label := fmt.Sprintf("%s.%s %s %v x%d", cfg.Benchmark, cfg.Class, cfg.Opts, cfg.Mode, app.Ranks)
+	observePhase(cfg.Observer, label, obs.PhaseCompile, start)
 
+	start = time.Now()
 	params := machine.DefaultParams()
 	switch {
 	case cfg.L3Bytes < 0:
@@ -208,6 +231,11 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.SliceCycles > 0 {
 		j.SetSlice(cfg.SliceCycles)
 	}
+	if ob := cfg.Observer; ob != nil {
+		j.OnSpan(func(cat, name string, node, rank int, start, end uint64) {
+			ob.Span(obs.Span{Run: label, Cat: cat, Name: name, Node: node, Rank: rank, Start: start, End: end})
+		})
+	}
 	var sampler *Sampler
 	if cfg.TimelineInterval > 0 {
 		sampler = bgpctr.NewSampler(cfg.TimelineInterval, cfg.TimelineEvents...)
@@ -217,16 +245,22 @@ func Run(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	observePhase(cfg.Observer, label, obs.PhaseRun, start)
+
+	start = time.Now()
 	analysis, err := postproc.Analyze(dumps)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Ranks = app.Ranks
 	cfg.Nodes = nodes
-	label := fmt.Sprintf("%s.%s %s %v x%d", cfg.Benchmark, cfg.Class, cfg.Opts, cfg.Mode, cfg.Ranks)
 	metrics, err := postproc.Compute(analysis, bgpctr.WholeAppSet, label)
 	if err != nil {
 		return nil, err
+	}
+	observePhase(cfg.Observer, label, obs.PhasePostproc, start)
+	if cfg.Observer != nil {
+		cfg.Observer.RunDone(collectRunStats(m, label, metrics.ExecCycles))
 	}
 	return &Result{
 		Config:   cfg,
@@ -236,4 +270,59 @@ func Run(cfg RunConfig) (*Result, error) {
 		Metrics:  metrics,
 		Timeline: sampler,
 	}, nil
+}
+
+// observePhase reports one phase's wall time to the observer. A nil
+// observer costs one branch and zero allocations (obs_hooks_test pins
+// this), so the unobserved pipeline is unchanged.
+func observePhase(o Observer, label string, phase obs.Phase, start time.Time) {
+	if o == nil {
+		return
+	}
+	o.PhaseDone(label, phase, time.Since(start))
+}
+
+// sweepEvent reports one sweep orchestration event; nil observers cost one
+// branch and zero allocations.
+func sweepEvent(o Observer, ev obs.SweepEvent) {
+	if o == nil {
+		return
+	}
+	o.SweepEvent(ev)
+}
+
+// collectRunStats aggregates the machine's free-running counters after a
+// job has completed: engine-route decisions per core, cache traffic per
+// level, and DDR line traffic. Reading happens strictly post-run, so the
+// numbers equal what the run would have produced unobserved.
+func collectRunStats(m *machine.Machine, label string, execCycles uint64) RunStats {
+	st := RunStats{Label: label, ExecCycles: execCycles}
+	for _, nd := range m.Nodes {
+		for _, c := range nd.Cores {
+			st.RouteClosedForm += c.EngineRoutes[core.RouteClosedForm]
+			st.RouteCoalesced += c.EngineRoutes[core.RouteCoalesced]
+			st.RouteTracked += c.EngineRoutes[core.RouteTracked]
+			st.RouteInterp += c.EngineRoutes[core.RouteInterp]
+			st.L1Hits += c.L1.Hits
+			st.L1Misses += c.L1.Misses
+			st.L1Writebacks += c.L1.Writebacks
+			st.L2PrefetchHits += c.L2.Hits
+			st.L2PrefetchMisses += c.L2.Misses
+			st.L2PrefetchIssued += c.L2.Issued
+		}
+		for _, bank := range nd.L3 {
+			if bank == nil {
+				continue
+			}
+			st.L3Hits += bank.Hits
+			st.L3Misses += bank.Misses
+			st.L3Writebacks += bank.Writebacks
+		}
+		st.L3PrefetchIssued += nd.L3PrefetchIssued
+		for _, ctl := range nd.DDR {
+			st.DDRReadLines += ctl.ReadLines
+			st.DDRWriteLines += ctl.WriteLines
+		}
+	}
+	return st
 }

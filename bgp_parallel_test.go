@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	bgp "bgpsim"
+	"bgpsim/internal/obs"
 )
 
 // determinismCases covers at least one benchmark in every node operating
@@ -90,9 +91,24 @@ func TestSerialParallelDeterminism(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			results, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{Workers: copies})
+			// The pool runs with a full observer (registry + tracer)
+			// attached while the serial reference ran with none: an
+			// observer is passive, so the dumps must still match
+			// byte for byte.
+			var trace bytes.Buffer
+			rec := obs.NewRecorder(obs.NewRegistry(), obs.NewTracer(&trace))
+			results, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{
+				Workers:  copies,
+				Observer: rec,
+			})
 			if err != nil {
 				t.Fatal(err)
+			}
+			if got := rec.Registry().Snapshot().Counters[obs.MetricRuns]; got != copies {
+				t.Errorf("observer counted %d runs, want %d", got, copies)
+			}
+			if trace.Len() == 0 {
+				t.Error("observer-attached pool produced no trace spans")
 			}
 
 			for i, res := range results {

@@ -69,9 +69,12 @@ func RunKey(index int, cfg RunConfig) string {
 }
 
 // fingerprint is a stable identity of the run configuration, independent of
-// host-side placement (the dump directory).
+// host-side placement (the dump directory) and host-side observation (the
+// observer — an interface value would render as an unstable pointer, and
+// attaching one must not change which checkpoint entries a sweep maps to).
 func fingerprint(cfg RunConfig) string {
 	cfg.DumpDir = ""
+	cfg.Observer = nil
 	return fmt.Sprintf("%+v", cfg)
 }
 

@@ -34,6 +34,7 @@ import (
 
 	bgp "bgpsim"
 	"bgpsim/internal/experiments"
+	"bgpsim/internal/obs"
 )
 
 func main() {
@@ -57,8 +58,18 @@ func run() int {
 		checkpoint = flag.String("checkpoint", "", "persist each completed run in this directory")
 		resume     = flag.Bool("resume", false, "restore completed runs from -checkpoint instead of re-running them")
 		fromCkpt   = flag.Bool("from-checkpoint", false, "render from -checkpoint alone without simulating; combine with -keep-going for a partial report")
+
+		traceOut    = flag.String("trace", "", "write a Chrome-trace JSONL of sim-cycle spans (ranks, kernels, collectives) to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve the metrics registry over HTTP at this address (e.g. localhost:8080)")
 	)
 	flag.Parse()
+
+	observer, obsClose, err := obs.SetupCLI(*traceOut, *metricsAddr, log.Printf)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer obsClose()
 
 	cls, err := bgp.ParseClass(*class)
 	if err != nil {
@@ -72,6 +83,7 @@ func run() int {
 	missing := &experiments.MissingSet{}
 	s := experiments.Scale{
 		Class: cls, Ranks: *ranks, Jobs: *jobs,
+		Observer:      observer,
 		KeepGoing:     *keepGoing,
 		Retries:       *retries,
 		RunTimeout:    *runTimeout,

@@ -34,6 +34,7 @@ import (
 
 	bgp "bgpsim"
 	"bgpsim/internal/machine"
+	"bgpsim/internal/obs"
 	"bgpsim/internal/postproc"
 	"bgpsim/internal/sweep"
 )
@@ -69,10 +70,19 @@ func run() int {
 		checkpoint = flag.String("checkpoint", "", "persist each completed run in this directory")
 		resume     = flag.Bool("resume", false, "restore completed runs from -checkpoint instead of re-running them")
 
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		traceOut    = flag.String("trace", "", "write a Chrome-trace JSONL of sim-cycle spans (ranks, kernels, collectives) to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve the metrics registry over HTTP at this address (e.g. localhost:8080)")
 	)
 	flag.Parse()
+
+	observer, obsClose, err := obs.SetupCLI(*traceOut, *metricsAddr, log.Printf)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer obsClose()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -170,6 +180,7 @@ func run() int {
 
 	results, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{
 		Workers:         *jobs,
+		Observer:        observer,
 		Retries:         *retries,
 		RunTimeout:      *runTimeout,
 		ContinueOnError: *keepGoing,

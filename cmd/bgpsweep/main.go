@@ -42,6 +42,7 @@ import (
 
 	bgp "bgpsim"
 	"bgpsim/internal/experiments"
+	"bgpsim/internal/obs"
 	"bgpsim/internal/sweep"
 )
 
@@ -68,10 +69,19 @@ func run() int {
 		checkpoint = flag.String("checkpoint", "", "persist each completed run in this directory")
 		resume     = flag.Bool("resume", false, "restore completed runs from -checkpoint instead of re-running them")
 
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		traceOut    = flag.String("trace", "", "write a Chrome-trace JSONL of sim-cycle spans (ranks, kernels, collectives) to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve the metrics registry over HTTP at this address (e.g. localhost:8080)")
 	)
 	flag.Parse()
+
+	observer, obsClose, err := obs.SetupCLI(*traceOut, *metricsAddr, log.Printf)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer obsClose()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -114,6 +124,7 @@ func run() int {
 	missing := &experiments.MissingSet{}
 	s := experiments.Scale{
 		Class: cls, Ranks: *ranks, Jobs: *jobs,
+		Observer:      observer,
 		KeepGoing:     *keepGoing,
 		Retries:       *retries,
 		RunTimeout:    *runTimeout,

@@ -1,0 +1,111 @@
+package bgp_test
+
+// The golden-figure regression harness. Every table of the paper's
+// evaluation (Figures 6-14) is rendered to canonical CSV cells and diffed
+// cell-by-cell against the committed snapshots under testdata/golden. A
+// failure means the simulated numbers moved — an accounting change, a
+// perturbed interleaving, a formula edit — and the diff names the exact
+// figure, row and column. When a change is intentional, regenerate with
+//
+//	go test -run TestGoldenFigures -update
+//
+// and review the CSV diff like any other code change.
+
+import (
+	"encoding/csv"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bgpsim/internal/experiments"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden from the current pipeline")
+
+func TestGoldenFigures(t *testing.T) {
+	s := experiments.QuickScale()
+	tables, err := experiments.GoldenFigures(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range experiments.GoldenFigureNames() {
+		table, ok := tables[name]
+		if !ok {
+			t.Fatalf("GoldenFigures returned no table %q", name)
+		}
+		path := filepath.Join("testdata", "golden", name+".csv")
+		t.Run(name, func(t *testing.T) {
+			if *updateGolden {
+				writeGoldenCSV(t, path, table)
+				return
+			}
+			want := readGoldenCSV(t, path)
+			diffTables(t, name, want, table)
+		})
+	}
+}
+
+func writeGoldenCSV(t *testing.T, path string, table [][]string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(table); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d rows)", path, len(table))
+}
+
+func readGoldenCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test -run TestGoldenFigures -update)", err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// diffTables compares two tables cell by cell and reports every divergent
+// cell by figure, row and column header, so a regression reads like a
+// review comment rather than a blob diff.
+func diffTables(t *testing.T, figure string, want, got [][]string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d rows, golden has %d", figure, len(got), len(want))
+	}
+	for r := 0; r < len(want) && r < len(got); r++ {
+		if len(got[r]) != len(want[r]) {
+			t.Errorf("%s row %d: %d columns, golden has %d", figure, r, len(got[r]), len(want[r]))
+		}
+		for c := 0; c < len(want[r]) && c < len(got[r]); c++ {
+			if got[r][c] == want[r][c] {
+				continue
+			}
+			col := ""
+			if len(want) > 0 && c < len(want[0]) {
+				col = want[0][c]
+			}
+			row := ""
+			if len(want[r]) > 0 {
+				row = want[r][0]
+			}
+			t.Errorf("%s [%s × %s] (row %d, col %d): got %q, golden %q",
+				figure, row, col, r, c, got[r][c], want[r][c])
+		}
+	}
+}

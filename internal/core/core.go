@@ -83,6 +83,27 @@ func DefaultParams() Params {
 	}
 }
 
+// Route identifies one dispatch target of the batched execution engine
+// (the switch in Exec): the reference per-trip interpreter, or one of the
+// batched kernels it accelerates exactly.
+type Route uint8
+
+// The engine routes, in Exec dispatch order.
+const (
+	RouteInterp Route = iota
+	RouteClosedForm
+	RouteTracked
+	RouteCoalesced
+	NumRoutes
+)
+
+var routeNames = [NumRoutes]string{
+	RouteInterp: "interp", RouteClosedForm: "closed_form",
+	RouteTracked: "tracked", RouteCoalesced: "coalesced",
+}
+
+func (r Route) String() string { return routeNames[r] }
+
 // Core is one simulated processor core.
 type Core struct {
 	id     int
@@ -102,6 +123,10 @@ type Core struct {
 	// Cycles is the free-running cycle counter; it doubles as the
 	// chip's Time Base register for this core.
 	Cycles uint64
+	// EngineRoutes counts loop executions per engine route, free-running
+	// like Mix. Each loop counts once per execution, at preparation time,
+	// toward the route its whole trip space is dispatched to.
+	EngineRoutes [NumRoutes]uint64
 
 	// want is the reusable prefetch-proposal buffer handed to the L2
 	// prefetcher on every L1 miss.
@@ -312,6 +337,16 @@ func (c *Core) Exec(st *ExecState, limit uint64) bool {
 		l := &p.Loops[st.loop]
 		if !st.prepped {
 			c.prepLoop(st, l)
+			switch {
+			case interp:
+				c.EngineRoutes[RouteInterp]++
+			case st.kind == isa.KernelClosedForm:
+				c.EngineRoutes[RouteClosedForm]++
+			case st.kind == isa.KernelInterp:
+				c.EngineRoutes[RouteTracked]++
+			default:
+				c.EngineRoutes[RouteCoalesced]++
+			}
 		}
 		var finished bool
 		switch {
@@ -817,6 +852,7 @@ func (c *Core) access(addr uint64, write bool) uint64 {
 func (c *Core) Reset() {
 	c.Mix = isa.Mix{}
 	c.Cycles = 0
+	c.EngineRoutes = [NumRoutes]uint64{}
 	c.L1.Reset()
 	c.L2.Reset()
 	c.Snoop.Reset()

@@ -47,6 +47,10 @@ type Scale struct {
 	// bit-identical either way; the flag exists for the benchmark
 	// harness's engine-speedup baseline.
 	Interpreter bool
+	// Observer, when non-nil, receives every run's observability events
+	// and the sweep's orchestration events (see bgp.SweepConfig.Observer).
+	// Attaching one never changes a figure's numbers.
+	Observer bgp.Observer
 
 	// KeepGoing degrades gracefully instead of failing the whole figure:
 	// runs that fail (after retries) leave their points marked Missing,
@@ -166,6 +170,7 @@ func runAll(s Scale, cfgs []bgp.RunConfig) ([]*bgp.Result, error) {
 	results, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{
 		Workers:         s.Jobs,
 		Progress:        s.Progress,
+		Observer:        s.Observer,
 		Retries:         s.Retries,
 		RunTimeout:      s.RunTimeout,
 		ContinueOnError: s.KeepGoing,

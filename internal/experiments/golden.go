@@ -1,0 +1,186 @@
+package experiments
+
+// The golden-figure harness: every table of the paper's evaluation rendered
+// into canonical CSV cells, so a committed snapshot (testdata/golden at the
+// repo root) pins the exact numbers the pipeline produces and any
+// accounting drift — a counter charged differently, a changed formula, a
+// perturbed interleaving — fails a cell-by-cell diff loudly. The cells are
+// formatted strings, not floats, so "equal" means byte-equal.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// GoldenFigureNames lists the tables GoldenFigures renders, sorted — one
+// per committed golden CSV.
+func GoldenFigureNames() []string {
+	return []string{
+		"fig06", "fig07", "fig08", "fig09", "fig10",
+		"fig11", "fig12", "fig13", "fig14",
+	}
+}
+
+// GoldenFigures recomputes every figure table at the given scale and
+// returns them keyed by GoldenFigureNames entries, each as CSV-ready rows
+// with a header row first. The underlying sweeps are shared — figures 7-10
+// come from one compiler sweep, 12-14 from one mode sweep — so the whole
+// set costs three suite sweeps plus the profile and L3 runs.
+func GoldenFigures(s Scale) (map[string][][]string, error) {
+	tables := make(map[string][][]string, 9)
+
+	profile, err := Fig6Profile(s)
+	if err != nil {
+		return nil, err
+	}
+	tables["fig06"] = goldenFig6(profile)
+
+	execRows, err := Fig910ExecTimes(SuiteNames(), s)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]ExecTimeRow, len(execRows))
+	for _, r := range execRows {
+		byName[r.Benchmark] = r
+	}
+	tables["fig07"] = goldenCompiler(byName["ft"].Points)
+	tables["fig08"] = goldenCompiler(byName["mg"].Points)
+	tables["fig09"] = goldenExecTimes(execRows[:4])
+	tables["fig10"] = goldenExecTimes(execRows[4:])
+
+	l3Rows, err := Fig11L3Sweep(SuiteNames(), s)
+	if err != nil {
+		return nil, err
+	}
+	tables["fig11"] = goldenFig11(l3Rows)
+
+	modeRows, err := Fig121314Modes(SuiteNames(), s)
+	if err != nil {
+		return nil, err
+	}
+	tables["fig12"] = goldenModes(modeRows, "traffic_ratio",
+		func(r ModeRow) float64 { return r.TrafficRatio })
+	tables["fig13"] = goldenModes(modeRows, "slowdown_pct",
+		func(r ModeRow) float64 { return r.SlowdownPct })
+	tables["fig14"] = goldenModes(modeRows, "mflops_per_chip_gain",
+		func(r ModeRow) float64 { return r.MFLOPSPerChipGain })
+
+	return tables, nil
+}
+
+// goldenCell renders a float with full round-trip precision, so the golden
+// diff catches a drift in the last bit.
+func goldenCell(v float64) string {
+	return strconv.FormatFloat(v, 'g', 17, 64)
+}
+
+const missingCellCSV = "missing"
+
+func goldenFig6(rows []ProfileRow) [][]string {
+	classes := fpClassOrderFromRows(rows)
+	header := append([]string{"benchmark"}, classes...)
+	out := [][]string{header}
+	for _, r := range rows {
+		cells := []string{r.Benchmark}
+		for _, ev := range classes {
+			if r.Missing {
+				cells = append(cells, missingCellCSV)
+				continue
+			}
+			cells = append(cells, goldenCell(r.Fractions[ev]))
+		}
+		out = append(out, cells)
+	}
+	return out
+}
+
+// fpClassOrderFromRows returns the FP-class mnemonics present in the rows,
+// sorted, so the golden schema does not depend on package import order.
+func fpClassOrderFromRows(rows []ProfileRow) []string {
+	seen := map[string]bool{}
+	for _, r := range rows {
+		for ev := range r.Fractions {
+			seen[ev] = true
+		}
+	}
+	classes := make([]string, 0, len(seen))
+	for ev := range seen {
+		classes = append(classes, ev)
+	}
+	sort.Strings(classes)
+	return classes
+}
+
+func goldenCompiler(pts []CompilerPoint) [][]string {
+	out := [][]string{{"build", "simd_instructions", "simd_share", "exec_cycles", "mflops"}}
+	for _, p := range pts {
+		if p.Missing {
+			out = append(out, []string{p.Opts.String(), missingCellCSV, missingCellCSV, missingCellCSV, missingCellCSV})
+			continue
+		}
+		out = append(out, []string{
+			p.Opts.String(),
+			goldenCell(p.SIMDInstructions),
+			goldenCell(p.SIMDShare),
+			strconv.FormatUint(p.ExecCycles, 10),
+			goldenCell(p.MFLOPS),
+		})
+	}
+	return out
+}
+
+func goldenExecTimes(rows []ExecTimeRow) [][]string {
+	header := []string{"benchmark"}
+	for _, opts := range CompilerConfigs() {
+		header = append(header, opts.String())
+	}
+	out := [][]string{header}
+	for _, r := range rows {
+		cells := []string{r.Benchmark}
+		for _, p := range r.Points {
+			if p.Missing {
+				cells = append(cells, missingCellCSV)
+				continue
+			}
+			cells = append(cells, strconv.FormatUint(p.ExecCycles, 10))
+		}
+		out = append(out, cells)
+	}
+	return out
+}
+
+func goldenFig11(rows []L3Row) [][]string {
+	header := []string{"benchmark", "metric"}
+	for _, l3 := range L3Sizes() {
+		header = append(header, fmt.Sprintf("%dMB", l3>>20))
+	}
+	out := [][]string{header}
+	for _, r := range rows {
+		traffic := []string{r.Benchmark, "ddr_traffic_bytes"}
+		miss := []string{r.Benchmark, "l3_miss_fraction"}
+		for _, p := range r.Points {
+			if p.Missing {
+				traffic = append(traffic, missingCellCSV)
+				miss = append(miss, missingCellCSV)
+				continue
+			}
+			traffic = append(traffic, strconv.FormatUint(p.DDRTrafficBytes, 10))
+			miss = append(miss, goldenCell(p.MissFraction))
+		}
+		out = append(out, traffic, miss)
+	}
+	return out
+}
+
+func goldenModes(rows []ModeRow, metric string, val func(ModeRow) float64) [][]string {
+	out := [][]string{{"benchmark", metric}}
+	for _, r := range rows {
+		if r.Missing {
+			out = append(out, []string{r.Benchmark, missingCellCSV})
+			continue
+		}
+		out = append(out, []string{r.Benchmark, goldenCell(val(r))})
+	}
+	return out
+}

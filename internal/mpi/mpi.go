@@ -75,6 +75,7 @@ type Job struct {
 	aborted bool
 
 	onAdvance func(clock uint64)
+	onSpan    func(cat, name string, node, rank int, start, end uint64)
 }
 
 // Rank is one MPI process.
@@ -153,6 +154,15 @@ func NewJob(m *machine.Machine, nranks int) (*Job, error) {
 // periodic snapshots while a job runs; the hook runs on the scheduler
 // goroutine, never concurrently with rank code.
 func (j *Job) OnAdvance(fn func(clock uint64)) { j.onAdvance = fn }
+
+// OnSpan installs a hook receiving one span per rank lifetime ("rank"),
+// per program execution ("kernel") and per collective participation
+// ("collective"), with start/end stamps on the executing core's simulated
+// clock. Hooks run on rank goroutines but always under the scheduler's
+// one-rank-at-a-time exclusivity, in an order that is a pure function of
+// the job — never of the host. A nil hook (the default) costs one branch
+// per potential span.
+func (j *Job) OnSpan(fn func(cat, name string, node, rank int, start, end uint64)) { j.onSpan = fn }
 
 // SetSlice overrides the compute time slice (cycles between scheduler
 // yields during long compute phases).
@@ -304,7 +314,11 @@ func (r *Rank) main(body func(*Rank)) {
 	if r.job.aborted || r.job.err != nil {
 		panic(abortSentinel{})
 	}
+	start := r.cr.Cycles
 	body(r)
+	if r.job.onSpan != nil {
+		r.job.onSpan("rank", "main", r.nodeID, r.id, start, r.cr.Cycles)
+	}
 }
 
 // yield hands control back to the scheduler and waits to be resumed.

@@ -24,6 +24,14 @@ const ForkJoinOverhead = 800
 // the master — the hybrid MPI+OpenMP execution the paper lists as future
 // work (§IX).
 func (r *Rank) Exec(p *isa.Program) {
+	start := r.cr.Cycles
+	r.exec(p)
+	if r.job.onSpan != nil {
+		r.job.onSpan("kernel", p.Name, r.nodeID, r.id, start, r.cr.Cycles)
+	}
+}
+
+func (r *Rank) exec(p *isa.Program) {
 	threads := r.job.m.Mode().ThreadsPerRank()
 	if threads > 1 {
 		r.execThreaded(p, threads)
@@ -279,6 +287,14 @@ func (r *Rank) Allreduce(bytes int) { r.collective(opAllreduce, bytes, 0) }
 func (r *Rank) Alltoall(bytesPerRank int) { r.collective(opAlltoall, bytesPerRank, 0) }
 
 func (r *Rank) collective(op collOp, bytes, root int) {
+	start := r.cr.Cycles
+	r.doCollective(op, bytes, root)
+	if r.job.onSpan != nil {
+		r.job.onSpan("collective", op.String(), r.nodeID, r.id, start, r.cr.Cycles)
+	}
+}
+
+func (r *Rank) doCollective(op collOp, bytes, root int) {
 	j := r.job
 	if j.coll == nil {
 		j.coll = &collState{op: op, bytes: bytes, root: root, releases: make([]uint64, len(j.ranks))}

@@ -1,0 +1,48 @@
+package obs
+
+// SetupCLI wires the command-line observability shared by the bgp tools:
+// a tracer when tracePath is non-empty, and an HTTP metrics endpoint
+// (serving /metrics and /debug/vars, with the registry also published to
+// expvar) when metricsAddr is non-empty. It returns the observer to attach
+// (nil when neither was requested — the zero-cost path) and a cleanup
+// function, safe to call unconditionally, that stops the server, flushes
+// the trace and reports the span count through logf.
+func SetupCLI(tracePath, metricsAddr string, logf func(format string, args ...any)) (Observer, func(), error) {
+	if tracePath == "" && metricsAddr == "" {
+		return nil, func() {}, nil
+	}
+	reg := NewRegistry()
+	var tr *Tracer
+	if tracePath != "" {
+		var err error
+		tr, err = CreateTrace(tracePath)
+		if err != nil {
+			return nil, func() {}, err
+		}
+	}
+	var srv *Server
+	cleanup := func() {
+		if srv != nil {
+			srv.Close()
+		}
+		if tr != nil {
+			spans := tr.Spans()
+			if err := tr.Close(); err != nil {
+				logf("trace: %v", err)
+			} else {
+				logf("trace: %d spans written to %s", spans, tracePath)
+			}
+		}
+	}
+	if metricsAddr != "" {
+		Publish("bgpsim", reg)
+		var err error
+		srv, err = Serve(metricsAddr, reg)
+		if err != nil {
+			cleanup()
+			return nil, func() {}, err
+		}
+		logf("metrics: http://%s/metrics", srv.Addr())
+	}
+	return NewRecorder(reg, tr), cleanup, nil
+}

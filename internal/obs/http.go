@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler returns an http.Handler rendering the registry snapshot as
+// indented JSON. Map keys marshal sorted, so the body is deterministic for
+// a given registry state.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+}
+
+// Publish exposes the registry under name in the process-wide expvar
+// namespace (so it also appears at /debug/vars alongside the runtime's
+// variables). Publishing the same name twice is a no-op rather than the
+// panic expvar.Publish raises.
+func Publish(name string, r *Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Server is a running metrics HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr exposing the registry at /metrics
+// (and the expvar namespace at /debug/vars) and returns immediately; the
+// server runs until Close. An addr with port 0 binds an ephemeral port —
+// read the resolved address back with Addr.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,217 @@
+// Package obs is the observability layer of the simulator: a metrics
+// registry whose hot paths are single atomic operations (no allocation, no
+// locking once a cell exists), a deterministic Chrome-trace event tracer
+// keyed by simulated cycles, and the Observer hook through which bgp.Run
+// and bgp.RunAll feed both without the simulation core depending on any of
+// it. The registry serves aggregate visibility (how many loops took each
+// engine route, cache traffic per level, sweep recovery events, host-side
+// phase time); the tracer serves per-run structure (which rank ran which
+// kernel when, on the simulated clock).
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; Add and Value never allocate.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomically settable signed value. The zero value is ready to
+// use; Set, Add and Value never allocate.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// holds values whose bit length is i, i.e. bucket 0 holds the value 0 and
+// bucket i>0 holds [2^(i-1), 2^i).
+const histBuckets = 65
+
+// Histogram accumulates a distribution over power-of-two buckets. Observe
+// is three atomic adds — no allocation, no locking — so it is safe on hot
+// paths and from any number of goroutines; Count and Sum are exact under
+// concurrency.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// HistogramBucket is one non-empty bucket of a histogram snapshot: Count
+// observations were at most Le.
+type HistogramBucket struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time view of a registry, suitable for JSON or
+// expvar export. Maps marshal with sorted keys, so the rendering is
+// deterministic for a given state.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Registry is a names-to-cells metrics registry. Cell lookup (Counter,
+// Gauge, Histogram) takes a mutex and may allocate on first use of a name;
+// call sites that care about the hot path resolve their cells once and hold
+// the pointers, after which every update is a bare atomic operation.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Names returns every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot captures the current value of every cell. Writers may still be
+// running; each individual cell reads atomically, and once they have
+// stopped the snapshot totals are exact.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for n, h := range r.histograms {
+			hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+			for i := 0; i < histBuckets; i++ {
+				c := h.buckets[i].Load()
+				if c == 0 {
+					continue
+				}
+				hs.Buckets = append(hs.Buckets, HistogramBucket{Le: bucketUpper(i), Count: c})
+			}
+			s.Histograms[n] = hs
+		}
+	}
+	return s
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) uint64 {
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}

@@ -1,0 +1,240 @@
+package obs
+
+import "time"
+
+// Phase names the host-side stages of one simulated run, in execution
+// order: building the benchmark (the compiler model), running it under the
+// MPI scheduler, and mining the counter dumps.
+type Phase string
+
+// The phases of bgp.Run.
+const (
+	PhaseCompile  Phase = "compile"
+	PhaseRun      Phase = "run"
+	PhasePostproc Phase = "postproc"
+)
+
+// Phases lists the run phases in order.
+func Phases() []Phase { return []Phase{PhaseCompile, PhaseRun, PhasePostproc} }
+
+// SweepEvent names an orchestration event of a parallel sweep.
+type SweepEvent string
+
+// The sweep events bgp.RunAll reports.
+const (
+	// EventRetry is one retry of a transiently failed run attempt.
+	EventRetry SweepEvent = "retry"
+	// EventPanic is a run attempt that panicked (recovered by the pool).
+	EventPanic SweepEvent = "panic"
+	// EventRunFailed is a run that failed after its retry budget.
+	EventRunFailed SweepEvent = "run_failed"
+	// EventRunSkipped is a run cancelled before it started.
+	EventRunSkipped SweepEvent = "run_skipped"
+	// EventCheckpointPersist is one run's dump set committed to a
+	// checkpoint directory.
+	EventCheckpointPersist SweepEvent = "checkpoint_persist"
+	// EventCheckpointRestore is one run restored from a checkpoint
+	// instead of executed.
+	EventCheckpointRestore SweepEvent = "checkpoint_restore"
+)
+
+// SweepEvents lists every sweep event kind.
+func SweepEvents() []SweepEvent {
+	return []SweepEvent{
+		EventRetry, EventPanic, EventRunFailed, EventRunSkipped,
+		EventCheckpointPersist, EventCheckpointRestore,
+	}
+}
+
+// RunStats is the aggregate machine-side accounting of one completed run,
+// read from the simulator's free-running counters after the job finishes —
+// observation is passive, so an attached observer cannot perturb a single
+// counter value.
+type RunStats struct {
+	// Label identifies the run.
+	Label string
+	// ExecCycles is the instrumented execution time in cycles.
+	ExecCycles uint64
+
+	// RouteClosedForm..RouteInterp count loop executions dispatched to
+	// each batched-engine route across every core.
+	RouteClosedForm uint64
+	RouteCoalesced  uint64
+	RouteTracked    uint64
+	RouteInterp     uint64
+
+	// L1 totals across every core's private data cache.
+	L1Hits, L1Misses, L1Writebacks uint64
+	// L2 stream-prefetcher totals across every core.
+	L2PrefetchHits, L2PrefetchMisses, L2PrefetchIssued uint64
+	// L3 totals across every node's banks (zero when the L3 is disabled).
+	L3Hits, L3Misses, L3Writebacks uint64
+	// L3PrefetchIssued counts lines the memory-side L3 engines fetched.
+	L3PrefetchIssued uint64
+	// DDR line totals across every node's controllers.
+	DDRReadLines, DDRWriteLines uint64
+}
+
+// Observer receives a run's observability events. Implementations must be
+// safe for concurrent use: a sweep calls one observer from every worker.
+//
+// The simulation core never sees this interface — bgp.Run reads the
+// machine's free-running counters after the job completes and installs
+// cycle-stamped span hooks only when an observer is attached, so a nil
+// observer leaves the entire pipeline untouched.
+type Observer interface {
+	// PhaseDone reports the wall time of one host-side phase of a run.
+	PhaseDone(label string, phase Phase, wall time.Duration)
+	// RunDone reports a completed run's aggregate machine statistics.
+	RunDone(stats RunStats)
+	// SweepEvent reports one orchestration event of a sweep.
+	SweepEvent(ev SweepEvent)
+	// Span reports one simulated-clock span of a running job.
+	Span(sp Span)
+}
+
+// Metric names the Recorder registers. Engine-route, cache, DDR and sweep
+// names are completed with the constants' documented suffixes.
+const (
+	// MetricRuns counts completed runs.
+	MetricRuns = "sim.runs"
+	// MetricExecCycles totals instrumented execution cycles.
+	MetricExecCycles = "sim.exec_cycles"
+	// MetricSpans counts trace spans observed (whether or not a tracer
+	// was attached).
+	MetricSpans = "trace.spans"
+	// MetricPhaseNSPrefix prefixes per-phase wall-time totals in
+	// nanoseconds: phase.ns.compile, phase.ns.run, phase.ns.postproc.
+	MetricPhaseNSPrefix = "phase.ns."
+	// MetricPhaseHistPrefix prefixes per-phase wall-time histograms
+	// (nanoseconds, power-of-two buckets).
+	MetricPhaseHistPrefix = "phase.hist_ns."
+	// MetricRoutePrefix prefixes engine-route loop counts:
+	// engine.route.closed_form, .coalesced, .tracked, .interp.
+	MetricRoutePrefix = "engine.route."
+	// MetricSweepPrefix prefixes sweep-event counts: sweep.retry,
+	// sweep.panic, sweep.run_failed, sweep.run_skipped,
+	// sweep.checkpoint_persist, sweep.checkpoint_restore.
+	MetricSweepPrefix = "sweep."
+)
+
+// Recorder is the standard Observer: it feeds a Registry and, when one is
+// attached, a Tracer. Every cell is resolved at construction, so the
+// event-handling paths are lock-free atomic updates (plus one mutex-guarded
+// write per span when tracing).
+type Recorder struct {
+	reg    *Registry
+	tracer *Tracer
+
+	runs       *Counter
+	execCycles *Counter
+	spans      *Counter
+	phaseNS    map[Phase]*Counter
+	phaseHist  map[Phase]*Histogram
+	sweep      map[SweepEvent]*Counter
+
+	routeClosedForm, routeCoalesced, routeTracked, routeInterp *Counter
+
+	l1Hits, l1Misses, l1Writebacks   *Counter
+	l2pfHits, l2pfMisses, l2pfIssued *Counter
+	l3Hits, l3Misses, l3Writebacks   *Counter
+	l3pfIssued                       *Counter
+	ddrReadLines, ddrWriteLines      *Counter
+}
+
+// NewRecorder returns a recorder over reg, tracing to tracer when non-nil.
+func NewRecorder(reg *Registry, tracer *Tracer) *Recorder {
+	r := &Recorder{
+		reg:    reg,
+		tracer: tracer,
+
+		runs:       reg.Counter(MetricRuns),
+		execCycles: reg.Counter(MetricExecCycles),
+		spans:      reg.Counter(MetricSpans),
+		phaseNS:    make(map[Phase]*Counter, 3),
+		phaseHist:  make(map[Phase]*Histogram, 3),
+		sweep:      make(map[SweepEvent]*Counter, 6),
+
+		routeClosedForm: reg.Counter(MetricRoutePrefix + "closed_form"),
+		routeCoalesced:  reg.Counter(MetricRoutePrefix + "coalesced"),
+		routeTracked:    reg.Counter(MetricRoutePrefix + "tracked"),
+		routeInterp:     reg.Counter(MetricRoutePrefix + "interp"),
+
+		l1Hits:        reg.Counter("cache.l1.hits"),
+		l1Misses:      reg.Counter("cache.l1.misses"),
+		l1Writebacks:  reg.Counter("cache.l1.writebacks"),
+		l2pfHits:      reg.Counter("cache.l2pf.hits"),
+		l2pfMisses:    reg.Counter("cache.l2pf.misses"),
+		l2pfIssued:    reg.Counter("cache.l2pf.issued"),
+		l3Hits:        reg.Counter("cache.l3.hits"),
+		l3Misses:      reg.Counter("cache.l3.misses"),
+		l3Writebacks:  reg.Counter("cache.l3.writebacks"),
+		l3pfIssued:    reg.Counter("cache.l3pf.issued"),
+		ddrReadLines:  reg.Counter("ddr.read_lines"),
+		ddrWriteLines: reg.Counter("ddr.write_lines"),
+	}
+	for _, ph := range Phases() {
+		r.phaseNS[ph] = reg.Counter(MetricPhaseNSPrefix + string(ph))
+		r.phaseHist[ph] = reg.Histogram(MetricPhaseHistPrefix + string(ph))
+	}
+	for _, ev := range SweepEvents() {
+		r.sweep[ev] = reg.Counter(MetricSweepPrefix + string(ev))
+	}
+	return r
+}
+
+// Registry returns the recorder's registry.
+func (r *Recorder) Registry() *Registry { return r.reg }
+
+// Tracer returns the attached tracer (nil when not tracing).
+func (r *Recorder) Tracer() *Tracer { return r.tracer }
+
+// PhaseDone implements Observer.
+func (r *Recorder) PhaseDone(label string, phase Phase, wall time.Duration) {
+	ns := uint64(wall.Nanoseconds())
+	if c, ok := r.phaseNS[phase]; ok {
+		c.Add(ns)
+	}
+	if h, ok := r.phaseHist[phase]; ok {
+		h.Observe(ns)
+	}
+}
+
+// RunDone implements Observer.
+func (r *Recorder) RunDone(st RunStats) {
+	r.runs.Inc()
+	r.execCycles.Add(st.ExecCycles)
+	r.routeClosedForm.Add(st.RouteClosedForm)
+	r.routeCoalesced.Add(st.RouteCoalesced)
+	r.routeTracked.Add(st.RouteTracked)
+	r.routeInterp.Add(st.RouteInterp)
+	r.l1Hits.Add(st.L1Hits)
+	r.l1Misses.Add(st.L1Misses)
+	r.l1Writebacks.Add(st.L1Writebacks)
+	r.l2pfHits.Add(st.L2PrefetchHits)
+	r.l2pfMisses.Add(st.L2PrefetchMisses)
+	r.l2pfIssued.Add(st.L2PrefetchIssued)
+	r.l3Hits.Add(st.L3Hits)
+	r.l3Misses.Add(st.L3Misses)
+	r.l3Writebacks.Add(st.L3Writebacks)
+	r.l3pfIssued.Add(st.L3PrefetchIssued)
+	r.ddrReadLines.Add(st.DDRReadLines)
+	r.ddrWriteLines.Add(st.DDRWriteLines)
+}
+
+// SweepEvent implements Observer.
+func (r *Recorder) SweepEvent(ev SweepEvent) {
+	if c, ok := r.sweep[ev]; ok {
+		c.Inc()
+	} else {
+		r.reg.Counter(MetricSweepPrefix + string(ev)).Inc()
+	}
+}
+
+// Span implements Observer.
+func (r *Recorder) Span(sp Span) {
+	r.spans.Inc()
+	if r.tracer != nil {
+		r.tracer.Span(sp)
+	}
+}

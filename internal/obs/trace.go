@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Span is one traced interval of a run, measured on the simulated clock.
+//
+// Cat is the span category ("rank" for a rank's whole lifetime, "kernel"
+// for one program execution, "collective" for one rank's participation in a
+// collective operation); Name identifies the program or operation; Node and
+// Rank place the span on the machine; Start and End are simulated cycle
+// stamps on the executing core's clock.
+type Span struct {
+	Run   string
+	Cat   string
+	Name  string
+	Node  int
+	Rank  int
+	Start uint64
+	End   uint64
+}
+
+// Tracer writes spans as Chrome trace-event JSONL: one complete ("ph":"X")
+// event object per line, timestamps and durations in simulated cycles.
+// Because the clock is the simulation's own, a run's trace is a pure
+// function of its configuration — wall time, host load and worker count
+// never appear in the bytes. Concurrent runs interleave their lines
+// nondeterministically, so trace files are compared after a line sort (see
+// SortedBytes); within one run the emission order is itself deterministic.
+//
+// Load a trace in any Chrome-trace viewer (chrome://tracing, Perfetto)
+// after wrapping the lines in a JSON array, or process the JSONL directly.
+type Tracer struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	c     io.Closer
+	spans uint64
+	err   error
+}
+
+// NewTracer returns a tracer writing to w. If w is an io.Closer, Close
+// closes it after flushing.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// CreateTrace creates (or truncates) the file at path and returns a tracer
+// writing to it.
+func CreateTrace(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: creating trace file: %w", err)
+	}
+	return NewTracer(f), nil
+}
+
+// Span writes one span. Safe for concurrent use; the field order is fixed
+// so identical spans produce identical bytes.
+func (t *Tracer) Span(sp Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.spans++
+	_, err := fmt.Fprintf(t.w,
+		"{\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\"tid\":%d,\"args\":{\"run\":%q}}\n",
+		sp.Name, sp.Cat, sp.Start, sp.End-sp.Start, sp.Node, sp.Rank, sp.Run)
+	if err != nil {
+		t.err = err
+	}
+}
+
+// Spans returns the number of spans written so far.
+func (t *Tracer) Spans() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans
+}
+
+// Close flushes buffered lines and closes the underlying writer when it is
+// closable, returning the first error the tracer encountered.
+func (t *Tracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if t.c != nil {
+		if err := t.c.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+		t.c = nil
+	}
+	return t.err
+}
+
+// SortedBytes returns trace-file contents with the lines sorted — the
+// canonical form for comparing traces of the same runs executed at
+// different worker counts, where only the interleaving of whole lines may
+// differ.
+func SortedBytes(trace []byte) []byte {
+	lines := strings.Split(strings.TrimRight(string(trace), "\n"), "\n")
+	sort.Strings(lines)
+	return []byte(strings.Join(lines, "\n") + "\n")
+}

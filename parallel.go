@@ -8,6 +8,7 @@ import (
 
 	"bgpsim/internal/bgpctr"
 	"bgpsim/internal/faults"
+	"bgpsim/internal/obs"
 	"bgpsim/internal/sweep"
 )
 
@@ -39,6 +40,12 @@ type SweepConfig struct {
 	// (including results restored from a checkpoint). It may be called
 	// concurrently from several workers and must not mutate the result.
 	OnResult func(index int, res *Result)
+	// Observer, when non-nil, receives the sweep's orchestration events
+	// (retries, panics, failures, skips, checkpoint persists/restores)
+	// and is attached to every run whose own RunConfig.Observer is nil,
+	// so one recorder sees the whole sweep. It is called from every
+	// worker and must be safe for concurrent use.
+	Observer Observer
 
 	// Retries is the per-run retry budget for failures classified
 	// transient (injected transient faults, panics, and per-run deadline
@@ -97,6 +104,37 @@ func RunAll(ctx context.Context, cfgs []RunConfig, sc SweepConfig) ([]*Result, e
 		opts.OnSkip = sc.Progress.RunSkipped
 		opts.Retry.OnRetry = sc.Progress.RunRetried
 	}
+	if ob := sc.Observer; ob != nil {
+		prevFinish, prevSkip, prevRetry := opts.OnFinish, opts.OnSkip, opts.Retry.OnRetry
+		opts.OnFinish = func(i int, wall time.Duration, err error) {
+			if err != nil {
+				sweepEvent(ob, obs.EventRunFailed)
+				var pe *sweep.RunPanicError
+				if errors.As(err, &pe) {
+					sweepEvent(ob, obs.EventPanic)
+				}
+			}
+			if prevFinish != nil {
+				prevFinish(i, wall, err)
+			}
+		}
+		opts.OnSkip = func(i int) {
+			sweepEvent(ob, obs.EventRunSkipped)
+			if prevSkip != nil {
+				prevSkip(i)
+			}
+		}
+		opts.Retry.OnRetry = func(i, attempt int, err error) {
+			sweepEvent(ob, obs.EventRetry)
+			var pe *sweep.RunPanicError
+			if errors.As(err, &pe) {
+				sweepEvent(ob, obs.EventPanic)
+			}
+			if prevRetry != nil {
+				prevRetry(i, attempt, err)
+			}
+		}
+	}
 	var ckpt *checkpoint
 	if sc.CheckpointDir != "" {
 		var err error
@@ -110,8 +148,12 @@ func RunAll(ctx context.Context, cfgs []RunConfig, sc SweepConfig) ([]*Result, e
 			return nil, err
 		}
 		key := RunKey(i, cfg)
+		if cfg.Observer == nil {
+			cfg.Observer = sc.Observer
+		}
 		if ckpt != nil && (sc.Resume || sc.ResumeOnly) {
 			if res := ckpt.restore(key, cfg); res != nil {
+				sweepEvent(sc.Observer, obs.EventCheckpointRestore)
 				if sc.OnRestore != nil {
 					sc.OnRestore(i)
 				}
@@ -150,6 +192,7 @@ func RunAll(ctx context.Context, cfgs []RunConfig, sc SweepConfig) ([]*Result, e
 			if err := ckpt.persist(key, cfg, res, mutate); err != nil {
 				return nil, fmt.Errorf("run %d (%s.%s %v): checkpoint: %w", i, cfg.Benchmark, cfg.Class, cfg.Mode, err)
 			}
+			sweepEvent(sc.Observer, obs.EventCheckpointPersist)
 		}
 		if sc.Progress != nil {
 			sc.Progress.AddSimCycles(res.Metrics.ExecCycles)
