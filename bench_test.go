@@ -101,6 +101,25 @@ func BenchmarkFig06InstructionProfile(b *testing.B) {
 	}
 }
 
+// BenchmarkFig06InstructionProfileCold is the figure-6 benchmark with the
+// compile-and-classification cache disabled, so every run lowers and
+// classifies its kernel fresh. Against the default (memoized) benchmark
+// above it measures what cross-run memoization saves; scripts/bench.sh
+// records the ratio as fig06_memoized_over_cold in BENCH_core.json.
+func BenchmarkFig06InstructionProfileCold(b *testing.B) {
+	s := benchScale()
+	s.NoProgCache = true
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6Profile(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 8 {
+			b.Fatalf("profile rows = %d", len(rows))
+		}
+	}
+}
+
 // BenchmarkFig06InstructionProfileObserved is the figure-6 benchmark with
 // a full metrics recorder attached. Compared against the nil-observer run
 // above it measures the observability overhead; scripts/bench.sh records

@@ -37,6 +37,7 @@ import (
 	"bgpsim/internal/nas"
 	"bgpsim/internal/obs"
 	"bgpsim/internal/postproc"
+	"bgpsim/internal/progcache"
 )
 
 // Re-exported workload and configuration vocabulary, so that typical users
@@ -65,7 +66,15 @@ type (
 	// RunStats is the aggregate machine accounting reported to an
 	// Observer after each run.
 	RunStats = obs.RunStats
+	// ProgCache is the content-addressed compile/classification cache
+	// shared across runs (see internal/progcache).
+	ProgCache = progcache.Cache
 )
+
+// NewProgCache creates a program cache holding at most capacity builds
+// (capacity < 1 = unbounded), for callers who want cache population
+// isolated from the process-wide default.
+func NewProgCache(capacity int) *ProgCache { return progcache.New(capacity) }
 
 // NAS problem classes.
 const (
@@ -162,6 +171,26 @@ type RunConfig struct {
 	// to zero allocations). The observer is excluded from checkpoint
 	// fingerprints, like DumpDir.
 	Observer Observer
+	// EpochJobs allows collectives-only benchmarks (EP, FT, IS) to
+	// execute barrier-to-barrier epochs across up to this many host
+	// cores inside one simulation. Dumps and metrics are byte-identical
+	// to serial execution at every value (see internal/mpi's epoch
+	// scheduler for the argument); values below 2, benchmarks with
+	// point-to-point communication, and runs with an Observer or
+	// Timeline attached use the serial scheduler. Like the Observer,
+	// the knob is excluded from checkpoint fingerprints.
+	EpochJobs int
+	// ProgCache overrides the compile/classification cache consulted for
+	// this run; nil uses the process-wide shared cache. Cached programs
+	// are immutable and content-addressed (kernel IR, compiler flags,
+	// ISA version), so a cache hit returns bit-identical programs to a
+	// fresh compilation; the field never affects results and is excluded
+	// from checkpoint fingerprints.
+	ProgCache *progcache.Cache
+	// NoProgCache disables compile memoization for this run (every run
+	// lowers and classifies its kernel from scratch). Also excluded from
+	// checkpoint fingerprints.
+	NoProgCache bool
 }
 
 // Result is a completed instrumented run.
@@ -192,7 +221,14 @@ func Run(cfg RunConfig) (*Result, error) {
 		return nil, fmt.Errorf("bgp: non-positive rank count %d", cfg.Ranks)
 	}
 	ranks := b.RanksFor(cfg.Ranks)
-	app, err := b.Build(nas.Config{Class: cfg.Class, Ranks: ranks, Opts: cfg.Opts})
+	cache := cfg.ProgCache
+	if cache == nil && !cfg.NoProgCache {
+		cache = progcache.Default()
+	}
+	if cfg.NoProgCache {
+		cache = nil
+	}
+	app, err := b.Build(nas.Config{Class: cfg.Class, Ranks: ranks, Opts: cfg.Opts, Cache: cache})
 	if err != nil {
 		return nil, err
 	}
@@ -230,6 +266,9 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 	if cfg.SliceCycles > 0 {
 		j.SetSlice(cfg.SliceCycles)
+	}
+	if cfg.EpochJobs > 1 && app.CollectivesOnly {
+		j.SetEpochJobs(cfg.EpochJobs)
 	}
 	if ob := cfg.Observer; ob != nil {
 		j.OnSpan(func(cat, name string, node, rank int, start, end uint64) {

@@ -163,6 +163,99 @@ func TestChaosDeterminism(t *testing.T) {
 	}
 }
 
+// TestChaosMemoizedDeterminism runs the fault-recovery contract with both
+// new execution accelerators armed: a shared compile cache (so retries and
+// resumed runs hit memoized programs) and the epoch-parallel scheduler.
+// A sweep with injected faults takes the partial-output path
+// (ContinueOnError with one run outlasting its retry budget — the CLI's
+// exit-status-3 case), then resumes from its checkpoints against the warm
+// cache; every recovered run's persisted dumps must stay byte-identical
+// to fault-free serial runs that never saw cache, faults or epoch jobs.
+func TestChaosMemoizedDeterminism(t *testing.T) {
+	cases := epochCases() // collectives-only, so EpochJobs engages
+	cfgs := append(cases, cases[0], cases[1])
+	goldenOf := []int{0, 1, 2, 3, 0, 1} // cfg index → golden case index
+
+	root := t.TempDir()
+	golden, goldenDumps := goldenRuns(t, root, cases)
+
+	keys := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		keys[i] = bgp.RunKey(i, cfg)
+	}
+	inj := faults.New(0xCAC4E)
+	inj.Arm(keys[0], faults.Transient)                                     // heals; its retry recompiles from cache
+	inj.Arm(keys[2], faults.Panic)                                         // panic isolation with epoch goroutines live
+	inj.Arm(keys[4], faults.Transient, faults.Transient, faults.Transient) // outlasts Retries=1: partial output
+	cache := bgp.NewProgCache(16)
+
+	ckptDir := filepath.Join(root, "ckpt")
+	chaos, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{
+		Workers:         len(cfgs),
+		Retries:         1,
+		ContinueOnError: true,
+		CheckpointDir:   ckptDir,
+		Faults:          inj,
+		ProgCache:       cache,
+		EpochJobs:       2,
+	})
+	var se *sweep.SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("chaos pass error = %v, want *sweep.SweepError", err)
+	}
+	if len(se.Failed) != 1 || se.Failed[0].Index != 4 {
+		t.Fatalf("chaos pass failures = %+v, want exactly run 4", se.Failed)
+	}
+	if chaos[4] != nil {
+		t.Error("failed run 4 returned a result")
+	}
+	if s := cache.Stats(); s.Hits == 0 {
+		t.Error("shared program cache saw no hits; memoization never engaged")
+	}
+
+	// Resume re-runs only the failed run — now entirely from cache hits.
+	before := cache.Stats()
+	var restored, executed atomic.Int64
+	resumed, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{
+		Workers:       len(cfgs),
+		CheckpointDir: ckptDir,
+		Resume:        true,
+		ProgCache:     cache,
+		EpochJobs:     2,
+		OnRestore:     func(int) { restored.Add(1) },
+		OnResult:      func(int, *bgp.Result) { executed.Add(1) },
+	})
+	if err != nil {
+		t.Fatalf("resume pass: %v", err)
+	}
+	if r := restored.Load(); r != 5 {
+		t.Errorf("resume restored %d runs, want 5", r)
+	}
+	if e := executed.Load() - restored.Load(); e != 1 {
+		t.Errorf("resume executed %d runs, want 1 (the failed one)", e)
+	}
+	if s := cache.Stats(); s.Misses != before.Misses {
+		t.Errorf("resume compiled %d programs fresh; the warm cache should serve them all",
+			s.Misses-before.Misses)
+	}
+
+	for i, cfg := range cfgs {
+		want := goldenDumps[goldenOf[i]]
+		got := checkpointDumpBytes(t, ckptDir, i, cfg)
+		if len(got) != len(want) {
+			t.Fatalf("run %d: checkpoint has %d dumps, golden has %d", i, len(got), len(want))
+		}
+		for name, blob := range want {
+			if !bytes.Equal(blob, got[name]) {
+				t.Errorf("run %d: checkpoint dump %s differs from fault-free golden", i, name)
+			}
+		}
+		if !reflect.DeepEqual(resumed[i].Metrics, golden[goldenOf[i]].Metrics) {
+			t.Errorf("run %d: resumed metrics diverge from golden", i)
+		}
+	}
+}
+
 // TestSweepResumeAfterCancel interrupts a checkpointed sweep mid-flight
 // (context cancel at ~50% completion) and relaunches it with Resume: only
 // the unfinished runs re-execute, and the final results equal the clean

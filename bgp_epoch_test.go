@@ -1,0 +1,125 @@
+package bgp_test
+
+// Determinism harness of the epoch-parallel scheduler. Collectives-only
+// benchmarks (EP, FT, IS) may execute barrier-to-barrier epochs across
+// host cores inside one simulation; the guarantee is the same one the
+// cross-run pool gives: byte-identical binary counter dumps and identical
+// derived metrics at every -epoch-jobs value, including the serial
+// scheduler. Benchmarks with point-to-point communication must silently
+// keep the serial path under any EpochJobs setting.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	bgp "bgpsim"
+)
+
+// epochCases are collectives-only configurations whose ranks span several
+// nodes (single-node jobs fall back to the serial scheduler), covering
+// every operating mode including the threaded ones.
+func epochCases() []bgp.RunConfig {
+	return []bgp.RunConfig{
+		{Benchmark: "ep", Class: bgp.ClassS, Ranks: 8, Mode: bgp.VNM,
+			Opts: bgp.Options{Level: bgp.O5, Arch440d: true}},
+		{Benchmark: "ft", Class: bgp.ClassS, Ranks: 4, Mode: bgp.SMP1,
+			Opts: bgp.Options{Level: bgp.O3, Arch440d: true}},
+		{Benchmark: "ft", Class: bgp.ClassS, Ranks: 2, Mode: bgp.SMP4,
+			Opts: bgp.Options{Level: bgp.O4}},
+		{Benchmark: "is", Class: bgp.ClassS, Ranks: 8, Mode: bgp.Dual,
+			Opts: bgp.Options{Level: bgp.O5}},
+	}
+}
+
+// runWithEpochJobs executes cfg with the given EpochJobs into its own dump
+// directory and returns the result plus the raw dump bytes.
+func runWithEpochJobs(t *testing.T, cfg bgp.RunConfig, root string, epochJobs int) (*bgp.Result, map[string][]byte) {
+	t.Helper()
+	cfg.EpochJobs = epochJobs
+	cfg.DumpDir = filepath.Join(root, fmt.Sprintf("epoch%d", epochJobs))
+	if err := os.MkdirAll(cfg.DumpDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	res, err := bgp.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, readDumpBytes(t, cfg.DumpDir)
+}
+
+// TestEpochParallelDeterminism pins the tentpole guarantee: dumps and
+// metrics from the epoch scheduler at widths 1, 2 and 4 are byte-identical
+// to the serial scheduler's.
+func TestEpochParallelDeterminism(t *testing.T) {
+	for _, cfg := range epochCases() {
+		cfg := cfg
+		t.Run(fmt.Sprintf("%s-%v", cfg.Benchmark, cfg.Mode), func(t *testing.T) {
+			root := t.TempDir()
+			serial, want := runWithEpochJobs(t, cfg, root, 0)
+			for _, jobs := range []int{1, 2, 4} {
+				res, got := runWithEpochJobs(t, cfg, root, jobs)
+				if len(got) != len(want) {
+					t.Fatalf("epoch-jobs=%d wrote %d dumps, serial wrote %d", jobs, len(got), len(want))
+				}
+				for name, blob := range want {
+					if !bytes.Equal(blob, got[name]) {
+						t.Errorf("epoch-jobs=%d: dump %s differs from serial run", jobs, name)
+					}
+				}
+				if !reflect.DeepEqual(res.Metrics, serial.Metrics) {
+					t.Errorf("epoch-jobs=%d metrics differ:\nserial %+v\nepoch  %+v",
+						jobs, serial.Metrics, res.Metrics)
+				}
+			}
+		})
+	}
+}
+
+// TestEpochJobsPointToPointFallback pins the gate: a benchmark with
+// Send/Recv communication ignores EpochJobs (rather than panicking in the
+// point-to-point guard) and still matches its serial run exactly.
+func TestEpochJobsPointToPointFallback(t *testing.T) {
+	cfg := bgp.RunConfig{Benchmark: "cg", Class: bgp.ClassS, Ranks: 8, Mode: bgp.VNM,
+		Opts: bgp.Options{Level: bgp.O4, Arch440d: true}}
+	root := t.TempDir()
+	serial, want := runWithEpochJobs(t, cfg, root, 0)
+	res, got := runWithEpochJobs(t, cfg, root, 4)
+	for name, blob := range want {
+		if !bytes.Equal(blob, got[name]) {
+			t.Errorf("dump %s differs between serial and EpochJobs=4 fallback", name)
+		}
+	}
+	if !reflect.DeepEqual(res.Metrics, serial.Metrics) {
+		t.Errorf("fallback metrics differ:\nserial %+v\nepoch  %+v", serial.Metrics, res.Metrics)
+	}
+}
+
+// TestExecutionKnobsExcludedFromRunKey pins the checkpoint contract for
+// the new knobs: EpochJobs and the program cache change how a run is
+// computed, never what it computes, so they must not change which
+// checkpoint entry the run maps to — a checkpoint written serially must
+// restore under any of them, and vice versa.
+func TestExecutionKnobsExcludedFromRunKey(t *testing.T) {
+	base := bgp.RunConfig{Benchmark: "ep", Class: bgp.ClassS, Ranks: 8, Mode: bgp.VNM}
+	key := bgp.RunKey(3, base)
+
+	variants := []bgp.RunConfig{base, base, base}
+	variants[0].EpochJobs = 4
+	variants[1].NoProgCache = true
+	variants[2].ProgCache = bgp.NewProgCache(8)
+	for i, v := range variants {
+		if got := bgp.RunKey(3, v); got != key {
+			t.Errorf("variant %d: RunKey %q != base %q; execution knobs must not affect checkpoint identity", i, got, key)
+		}
+	}
+
+	changed := base
+	changed.Ranks = 4
+	if bgp.RunKey(3, changed) == key {
+		t.Error("changing Ranks did not change RunKey; fingerprint too weak")
+	}
+}

@@ -49,19 +49,21 @@ func main() {
 // process exits with a status code.
 func run() int {
 	var (
-		bench    = flag.String("bench", "mg", "NAS benchmarks, comma-separated or \"all\": "+strings.Join(bgp.Benchmarks(), ", "))
-		class    = flag.String("class", "A", "problem class: S, W, A, B or C")
-		ranks    = flag.Int("ranks", 32, "MPI process count (SP/BT round down to a square)")
-		mode     = flag.String("mode", "VNM", "node operating mode: SMP1, SMP4, DUAL or VNM")
-		opt      = flag.String("opt", "-O5 -qarch=440d", "compiler build, e.g. \"-O3\" or \"-O5 -qarch=440d\"")
-		l3MB     = flag.Int("l3", -1, "L3 size in MB per node (-1 = default 8, 0 = disabled)")
-		nodes    = flag.Int("nodes", 0, "partition size in nodes (0 = as many as the ranks need)")
-		jobs     = flag.Int("jobs", 0, "concurrent simulations for multi-benchmark runs (0 = one per host core)")
-		dumpDir  = flag.String("dump", "", "directory for per-node .bgpc counter dumps")
-		csvOut   = flag.String("csv", "", "write the metrics records to this CSV file")
-		timeline = flag.String("timeline", "", "write a periodic counter timeline to this CSV file (single benchmark only)")
-		tlEvery  = flag.Uint64("timeline-interval", 1_000_000, "timeline sampling interval in cycles")
-		tlEvents = flag.String("timeline-events", "BGP_PU0_CYCLES,BGP_NODE_FPU_FMA,BGP_DDR_READ_LINES",
+		bench       = flag.String("bench", "mg", "NAS benchmarks, comma-separated or \"all\": "+strings.Join(bgp.Benchmarks(), ", "))
+		class       = flag.String("class", "A", "problem class: S, W, A, B or C")
+		ranks       = flag.Int("ranks", 32, "MPI process count (SP/BT round down to a square)")
+		mode        = flag.String("mode", "VNM", "node operating mode: SMP1, SMP4, DUAL or VNM")
+		opt         = flag.String("opt", "-O5 -qarch=440d", "compiler build, e.g. \"-O3\" or \"-O5 -qarch=440d\"")
+		l3MB        = flag.Int("l3", -1, "L3 size in MB per node (-1 = default 8, 0 = disabled)")
+		nodes       = flag.Int("nodes", 0, "partition size in nodes (0 = as many as the ranks need)")
+		jobs        = flag.Int("jobs", 0, "concurrent simulations for multi-benchmark runs (0 = one per host core)")
+		epochJobs   = flag.Int("epoch-jobs", 0, "host cores per simulation for collectives-only benchmarks (EP, FT, IS); results do not depend on it")
+		noProgCache = flag.Bool("no-progcache", false, "disable cross-run compile memoization; results do not depend on it")
+		dumpDir     = flag.String("dump", "", "directory for per-node .bgpc counter dumps")
+		csvOut      = flag.String("csv", "", "write the metrics records to this CSV file")
+		timeline    = flag.String("timeline", "", "write a periodic counter timeline to this CSV file (single benchmark only)")
+		tlEvery     = flag.Uint64("timeline-interval", 1_000_000, "timeline sampling interval in cycles")
+		tlEvents    = flag.String("timeline-events", "BGP_PU0_CYCLES,BGP_NODE_FPU_FMA,BGP_DDR_READ_LINES",
 			"comma-separated event mnemonics to sample")
 
 		retries    = flag.Int("retries", 0, "per-run retry budget for transient failures")
@@ -186,6 +188,8 @@ func run() int {
 		ContinueOnError: *keepGoing,
 		CheckpointDir:   *checkpoint,
 		Resume:          *resume,
+		EpochJobs:       *epochJobs,
+		NoProgCache:     *noProgCache,
 	})
 	partial := false
 	if err != nil {

@@ -56,12 +56,14 @@ func main() {
 // fire before the process exits with a status code.
 func run() int {
 	var (
-		fig      = flag.Int("fig", 6, "figure to regenerate: 6, 7, 8, 9, 10, 11, 12, 13 or 14")
-		ext      = flag.String("ext", "", "extension study instead of a figure: prefetch, l3prefetch or hybrid")
-		class    = flag.String("class", "B", "problem class: S, W, A, B or C")
-		ranks    = flag.Int("ranks", 32, "process count (class B / 32 ranks reproduces the paper's per-rank regime)")
-		jobs     = flag.Int("jobs", 0, "concurrent simulations (0 = one per host core); results do not depend on it")
-		progress = flag.Bool("progress", false, "print sweep progress and throughput to stderr when done")
+		fig         = flag.Int("fig", 6, "figure to regenerate: 6, 7, 8, 9, 10, 11, 12, 13 or 14")
+		ext         = flag.String("ext", "", "extension study instead of a figure: prefetch, l3prefetch or hybrid")
+		class       = flag.String("class", "B", "problem class: S, W, A, B or C")
+		ranks       = flag.Int("ranks", 32, "process count (class B / 32 ranks reproduces the paper's per-rank regime)")
+		jobs        = flag.Int("jobs", 0, "concurrent simulations (0 = one per host core); results do not depend on it")
+		epochJobs   = flag.Int("epoch-jobs", 0, "host cores per simulation for collectives-only benchmarks (EP, FT, IS); results do not depend on it")
+		noProgCache = flag.Bool("no-progcache", false, "disable cross-run compile memoization; results do not depend on it")
+		progress    = flag.Bool("progress", false, "print sweep progress and throughput to stderr when done")
 
 		retries    = flag.Int("retries", 0, "per-run retry budget for transient failures")
 		runTimeout = flag.Duration("run-timeout", 0, "deadline per run attempt (0 = none); overruns count as transient")
@@ -131,6 +133,8 @@ func run() int {
 		CheckpointDir: *checkpoint,
 		Resume:        *resume,
 		Missing:       missing,
+		EpochJobs:     *epochJobs,
+		NoProgCache:   *noProgCache,
 	}
 	if *progress {
 		s.Progress = &tracker

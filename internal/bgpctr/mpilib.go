@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"bgpsim/internal/mpi"
 	"bgpsim/internal/upc"
@@ -46,6 +47,12 @@ func Instrument(j *mpi.Job, dir string, body func(*mpi.Rank)) ([]*Dump, error) {
 // regions with additional sets: the body receives its node's session and
 // may call Start/Stop with set numbers other than WholeAppSet.
 func InstrumentRegions(j *mpi.Job, dir string, body func(*mpi.Rank, *Session)) ([]*Dump, error) {
+	// The session/blob maps are host-side bookkeeping shared by all rank
+	// closures; under the epoch scheduler ranks on different nodes run
+	// concurrently, so the maps are mutex-guarded. Session operations
+	// themselves touch only the rank's own node (serialized per node by
+	// either scheduler), and the mutex never perturbs simulated state.
+	var mu sync.Mutex
 	sessions := make(map[int]*Session)
 	remaining := make(map[int]int)
 	blobs := make(map[int][]byte)
@@ -57,25 +64,38 @@ func InstrumentRegions(j *mpi.Job, dir string, body func(*mpi.Rank, *Session)) (
 
 	err := j.Run(func(r *mpi.Rank) {
 		nodeID := r.NodeID()
+		mu.Lock()
 		s := sessions[nodeID]
+		mu.Unlock()
 		if s == nil {
 			// MPI_Init: the first rank on the node becomes its
 			// monitoring thread.
 			s = Initialize(r.Node(), r.CoreID(), DefaultMode(nodeID))
+			mu.Lock()
 			sessions[nodeID] = s
+			mu.Unlock()
 			s.Start(WholeAppSet)
 		}
 		body(r, s)
 		// MPI_Finalize: the last rank to leave dumps the node file.
+		mu.Lock()
 		remaining[nodeID]--
-		if remaining[nodeID] == 0 {
+		doneNode := remaining[nodeID] == 0
+		mu.Unlock()
+		if doneNode {
 			s.Stop(WholeAppSet)
 			var buf bytes.Buffer
-			if err := s.Finalize(&buf); err != nil && failure == nil {
-				failure = err
+			if err := s.Finalize(&buf); err != nil {
+				mu.Lock()
+				if failure == nil {
+					failure = err
+				}
+				mu.Unlock()
 				return
 			}
+			mu.Lock()
 			blobs[nodeID] = buf.Bytes()
+			mu.Unlock()
 		}
 	})
 	if err != nil {

@@ -749,7 +749,7 @@ func (c *Core) prepLoop(st *ExecState, l *isa.Loop) {
 	} else {
 		st.cursors = st.cursors[:len(l.Body)]
 	}
-	st.kind = st.prog.Kernel(l, LineBytes)
+	st.kind = st.prog.KernelAt(st.loop, LineBytes)
 	st.memops = st.memops[:0]
 	for i, op := range l.Body {
 		st.cursors[i] = 0

@@ -75,6 +75,14 @@ type Scale struct {
 	// were absent from the checkpoint, for the report's partial-output
 	// diagnostics.
 	Missing *MissingSet
+
+	// EpochJobs enables intra-run epoch parallelism for collectives-only
+	// benchmarks (see bgp.RunConfig.EpochJobs). Figures are identical at
+	// every value.
+	EpochJobs int
+	// NoProgCache disables cross-run compile memoization (see
+	// bgp.SweepConfig); figures are identical either way.
+	NoProgCache bool
 }
 
 // MissingSet accumulates the identity of every figure point that could not
@@ -177,6 +185,8 @@ func runAll(s Scale, cfgs []bgp.RunConfig) ([]*bgp.Result, error) {
 		CheckpointDir:   s.CheckpointDir,
 		Resume:          s.Resume,
 		ResumeOnly:      s.ResumeOnly,
+		EpochJobs:       s.EpochJobs,
+		NoProgCache:     s.NoProgCache,
 	})
 	if err != nil {
 		var se *sweep.SweepError

@@ -193,6 +193,13 @@ type Loop struct {
 	Trips int64
 }
 
+// Version identifies the generation of the virtual ISA and its kernel
+// classification rules. It participates in content-addressed program cache
+// keys (internal/progcache): bump it whenever a change to op semantics,
+// classification, or lowering would make a previously cached program stale
+// even though its kernel IR and compiler options are unchanged.
+const Version = 1
+
 // Program is a compiled, executable phase of a kernel: a set of memory
 // regions and a sequence of counted loops over them. A benchmark alternates
 // Program executions with message-passing operations.
@@ -207,6 +214,12 @@ type Program struct {
 	Regions []Region
 	// Loops is the executable body in order.
 	Loops []Loop
+
+	// kinds memoizes the per-loop Kernel classification for line size
+	// kindsLine (see Classify). Once populated the program is effectively
+	// immutable and safe to share across jobs and goroutines.
+	kinds     []KernelKind
+	kindsLine int64
 }
 
 // Validate checks internal consistency: every memory op must name a valid

@@ -67,6 +67,30 @@ func (op *Op) Coalescible(regionSize uint64, lineBytes int64) bool {
 	}
 }
 
+// Classify precomputes the Kernel classification of every loop for the
+// given cache-line size, making later KernelAt calls table lookups. The
+// compiler calls it once per program; after that the program carries its
+// classifications and can be shared read-only across ranks, jobs and host
+// threads without re-running the per-op analysis.
+func (p *Program) Classify(lineBytes int64) {
+	kinds := make([]KernelKind, len(p.Loops))
+	for i := range p.Loops {
+		kinds[i] = p.Kernel(&p.Loops[i], lineBytes)
+	}
+	p.kinds = kinds
+	p.kindsLine = lineBytes
+}
+
+// KernelAt returns the classification of loop i, using the memoized table
+// when it was built for this line size and classifying live otherwise (a
+// hand-assembled Program never calls Classify).
+func (p *Program) KernelAt(i int, lineBytes int64) KernelKind {
+	if p.kinds != nil && p.kindsLine == lineBytes {
+		return p.kinds[i]
+	}
+	return p.Kernel(&p.Loops[i], lineBytes)
+}
+
 // Kernel classifies loop l for a machine with the given cache-line size.
 // The loop must belong to p (its ops index p.Regions).
 func (p *Program) Kernel(l *Loop, lineBytes int64) KernelKind {

@@ -1,0 +1,216 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the epoch-parallel scheduler: intra-run host parallelism
+// for collectives-only jobs, byte-identical to the serial scheduler.
+//
+// The exactness argument has three parts.
+//
+//  1. Node locality. Between two global synchronization points (an
+//     "epoch") a collectives-only job performs no communication: ranks
+//     only execute programs and advance their clocks, and every simulated
+//     resource they touch — cores, L1/L2, the shared L3, the DDR
+//     controllers, the UPC unit — belongs to their own node. The serial
+//     scheduler's dispatch sequence, restricted to one node's ranks, is
+//     exactly the node-local least-cycle-first sequence: whenever the
+//     global rule picks a rank of node N it picks the minimum-clock
+//     (lowest id on ties) rank among node N's ready ranks, and dispatches
+//     of other nodes' ranks don't change node N's state. So per-node
+//     executors running the local rule reproduce, per node, the exact
+//     access interleaving of the serial scheduler — including the
+//     active-core count that modulates L3 and torus contention, since a
+//     node's active set depends only on its own dispatch history.
+//
+//  2. Arrival bookkeeping is order-free. A rank arriving at a collective
+//     charges no cycles before suspending, so its park clock is its
+//     arrival clock; the collective's base clock is the maximum over
+//     arrival clocks, independent of arrival order; and the SPMD match
+//     check compares per-rank values only.
+//
+//  3. Tournament replay. Completion costs are charged by the serial
+//     scheduler's last arriver, whose core is the one core still active
+//     at that moment (everyone else has blocked) — and the all-to-all
+//     torus model reads that count. The last arriver is NOT simply the
+//     rank with the largest arrival clock: dispatch order depends on the
+//     whole clock trajectory (a rank resumed at a small clock can run one
+//     long slice past another rank's arrival). Each executor therefore
+//     records its ranks' post-dispatch clocks, and the driver replays the
+//     global least-cycle-first tournament over those recorded
+//     trajectories — which by (1) fully determine the serial dispatch
+//     order — to identify the serial last arriver exactly.
+//
+// The driver then reactivates that rank's core, runs the same completion
+// code as the serial path, advances every rank to its release clock, and
+// starts the next epoch. Per-node counter state is only ever touched by
+// one host goroutine at a time (its executor during the epoch, the driver
+// between epochs), so dumps are byte-identical to serial at any job count.
+
+// runEpochs executes the job with per-node executors running concurrently
+// within each epoch, at most j.epochJobs at a time.
+func (j *Job) runEpochs(body func(*Rank)) error {
+	j.epochActive = true
+	byNode := make(map[int][]*Rank)
+	for _, r := range j.ranks {
+		byNode[r.nodeID] = append(byNode[r.nodeID], r)
+	}
+	groups := make([][]*Rank, 0, len(j.nodeIDs))
+	for _, id := range j.nodeIDs {
+		groups = append(groups, byNode[id])
+	}
+
+	for _, r := range j.ranks {
+		r.status = statusReady
+		r.nd.SetActive(r.coreID, true)
+		go r.main(body)
+	}
+	defer func() { j.aborted = true }()
+
+	sem := make(chan struct{}, j.epochJobs)
+	for {
+		// Every rank is ready or done here, so the tournament seeds are
+		// the clocks at the epoch boundary.
+		starts := make([]uint64, len(j.ranks))
+		clocks := make([][]uint64, len(j.ranks))
+		for i, r := range j.ranks {
+			starts[i] = r.cr.Cycles
+		}
+
+		var wg sync.WaitGroup
+		for _, g := range groups {
+			wg.Add(1)
+			go func(g []*Rank) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				j.drainNode(g, clocks)
+			}(g)
+		}
+		wg.Wait()
+
+		if err := j.runErr(); err != nil {
+			j.abort(err)
+			return j.runErr()
+		}
+		parked, done := 0, 0
+		for _, r := range j.ranks {
+			switch {
+			case r.parked:
+				parked++
+			case r.status == statusDone:
+				done++
+			}
+		}
+		switch {
+		case done == len(j.ranks):
+			return j.runErr()
+		case parked != len(j.ranks):
+			j.abort(fmt.Errorf("mpi: deadlock: %s", j.describeBlocked()))
+			return j.runErr()
+		}
+		if err := j.completeEpoch(starts, clocks); err != nil {
+			j.abort(err)
+			return j.runErr()
+		}
+	}
+}
+
+// drainNode advances one node's ranks under the node-local
+// least-cycle-first rule until every rank has parked at a collective or
+// finished, recording each dispatch's resulting clock for the arrival
+// replay. It runs concurrently with other nodes' executors but touches
+// only its own node's simulated state.
+func (j *Job) drainNode(g []*Rank, clocks [][]uint64) {
+	for {
+		var best *Rank
+		for _, r := range g {
+			if r.status != statusReady {
+				continue
+			}
+			if best == nil || r.cr.Cycles < best.cr.Cycles {
+				best = r
+			}
+		}
+		if best == nil {
+			return
+		}
+		best.resume <- struct{}{}
+		<-best.yielded
+		best.nd.UPC.Poll()
+		clocks[best.id] = append(clocks[best.id], best.cr.Cycles)
+		if j.runErr() != nil {
+			return
+		}
+	}
+}
+
+// completeEpoch verifies the SPMD match, completes the collective every
+// rank is parked at exactly as the serial scheduler's last arriver would,
+// and readies all ranks at their release clocks.
+func (j *Job) completeEpoch(starts []uint64, clocks [][]uint64) error {
+	first := j.ranks[0]
+	op, bytes, root := first.parkedOp, first.parkedBytes, first.parkedRoot
+	for _, r := range j.ranks[1:] {
+		if r.parkedOp != op || r.parkedBytes != bytes || r.parkedRoot != root {
+			return fmt.Errorf("mpi: rank %d called %v(bytes=%d, root=%d) while job is in %v(bytes=%d, root=%d)",
+				r.id, r.parkedOp, r.parkedBytes, r.parkedRoot, op, bytes, root)
+		}
+	}
+	cs := &collState{op: op, bytes: bytes, root: root, releases: make([]uint64, len(j.ranks))}
+	for _, r := range j.ranks {
+		if r.cr.Cycles > cs.maxClock {
+			cs.maxClock = r.cr.Cycles
+		}
+	}
+	last := j.replayLastArriver(starts, clocks)
+	// In the serial schedule the last arriver never blocks: its core is
+	// the one core still active while completion costs are charged.
+	last.nd.SetActive(last.coreID, true)
+	last.completeCollective(cs)
+	// Serial waiters apply their release clock lazily, at their next
+	// dispatch (doCollective, after block() returns), so the next epoch's
+	// dispatch order is seeded by arrival clocks. Mirror that: stash each
+	// rank's release and advance only the last arriver eagerly — the
+	// serial completer calls WaitUntil before yielding.
+	for _, r := range j.ranks {
+		r.parked = false
+		r.parkedRelease = cs.releases[r.id]
+		r.makeReady()
+	}
+	last.cr.WaitUntil(cs.releases[last.id])
+	return nil
+}
+
+// replayLastArriver replays the global least-cycle-first tournament over
+// the recorded per-rank clock trajectories and returns the rank the serial
+// scheduler would dispatch into the collective last. A rank's key is its
+// clock at the epoch boundary, then each recorded post-dispatch clock; it
+// leaves the tournament on its final recorded dispatch (its arrival).
+func (j *Job) replayLastArriver(starts []uint64, clocks [][]uint64) *Rank {
+	cur := make([]uint64, len(j.ranks))
+	idx := make([]int, len(j.ranks))
+	copy(cur, starts)
+	remaining := len(j.ranks)
+	var last *Rank
+	for remaining > 0 {
+		best := -1
+		for i := range j.ranks {
+			if idx[i] == len(clocks[i]) {
+				continue
+			}
+			if best == -1 || cur[i] < cur[best] {
+				best = i
+			}
+		}
+		cur[best] = clocks[best][idx[best]]
+		idx[best]++
+		if idx[best] == len(clocks[best]) {
+			last = j.ranks[best]
+			remaining--
+		}
+	}
+	return last
+}

@@ -23,6 +23,7 @@ package mpi
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"bgpsim/internal/core"
 	"bgpsim/internal/isa"
@@ -71,8 +72,15 @@ type Job struct {
 	nodeIDs []int // distinct node ids hosting ranks
 
 	coll    *collState
+	errMu   sync.Mutex
 	err     error
 	aborted bool
+
+	// epochJobs bounds intra-run host parallelism (see SetEpochJobs);
+	// epochActive is set for the whole run when the epoch scheduler is
+	// engaged, and is read-only while rank goroutines exist.
+	epochJobs   int
+	epochActive bool
 
 	onAdvance func(clock uint64)
 	onSpan    func(cat, name string, node, rank int, start, end uint64)
@@ -99,6 +107,15 @@ type Rank struct {
 	waitSrc  int // valid while blocked in Recv; AnySource or rank id
 	inRecv   bool
 	collWait *collState
+
+	// Epoch-parallel parking state: a rank arriving at a collective under
+	// the epoch scheduler records the call and suspends; the driver
+	// completes the operation between epochs (see epoch.go).
+	parked        bool
+	parkedOp      collOp
+	parkedBytes   int
+	parkedRoot    int
+	parkedRelease uint64
 
 	bound     map[*isa.Program]*core.ExecState
 	shards    map[*isa.Program][]*core.ExecState
@@ -173,6 +190,18 @@ func (j *Job) SetSlice(cycles uint64) {
 	j.slice = cycles
 }
 
+// SetEpochJobs allows Run to execute barrier-to-barrier epochs of the job
+// across up to n host cores. It applies only to collectives-only bodies
+// (no Send/Recv — a point-to-point call under the epoch scheduler panics):
+// between global synchronization points the nodes of such a job share no
+// simulated state, so each node's ranks can advance on their own host core
+// under the node-local least-cycle-first rule, which is provably the
+// serial scheduler's restriction to that node. Counter dumps are therefore
+// byte-identical to serial execution at every n (see epoch.go for the full
+// argument). Values below 2 keep the serial scheduler; jobs with OnAdvance
+// or OnSpan hooks, or with all ranks on one node, fall back to it too.
+func (j *Job) SetEpochJobs(n int) { j.epochJobs = n }
+
 // Size returns the number of ranks.
 func (j *Job) Size() int { return len(j.ranks) }
 
@@ -209,6 +238,9 @@ func (j *Job) Run(body func(*Rank)) error {
 	if j.aborted {
 		return fmt.Errorf("mpi: job already run")
 	}
+	if j.epochJobs > 1 && j.onAdvance == nil && j.onSpan == nil && len(j.nodeIDs) > 1 {
+		return j.runEpochs(body)
+	}
 	for _, r := range j.ranks {
 		r.status = statusReady
 		r.nd.SetActive(r.coreID, true)
@@ -220,10 +252,10 @@ func (j *Job) Run(body func(*Rank)) error {
 		r := j.pickNext()
 		if r == nil {
 			if j.allDone() {
-				return j.err
+				return j.runErr()
 			}
 			j.abort(fmt.Errorf("mpi: deadlock: %s", j.describeBlocked()))
-			return j.err
+			return j.runErr()
 		}
 		r.resume <- struct{}{}
 		<-r.yielded
@@ -231,11 +263,30 @@ func (j *Job) Run(body func(*Rank)) error {
 		if j.onAdvance != nil {
 			j.onAdvance(r.cr.Cycles)
 		}
-		if j.err != nil {
-			j.abort(j.err)
-			return j.err
+		if err := j.runErr(); err != nil {
+			j.abort(err)
+			return j.runErr()
 		}
 	}
+}
+
+// setErr records the job's first error. Rank goroutines on different node
+// executors may fail concurrently under the epoch scheduler, so the slot
+// is mutex-guarded; the serial scheduler shares the accessors for
+// uniformity.
+func (j *Job) setErr(err error) {
+	j.errMu.Lock()
+	if j.err == nil {
+		j.err = err
+	}
+	j.errMu.Unlock()
+}
+
+// runErr returns the job's first error, if any.
+func (j *Job) runErr() error {
+	j.errMu.Lock()
+	defer j.errMu.Unlock()
+	return j.err
 }
 
 func (j *Job) pickNext() *Rank {
@@ -274,6 +325,8 @@ func (j *Job) describeBlocked() string {
 			s += fmt.Sprintf("rank %d waiting for message from %d", r.id, r.waitSrc)
 		case r.collWait != nil:
 			s += fmt.Sprintf("rank %d in collective %v", r.id, r.collWait.op)
+		case r.parked:
+			s += fmt.Sprintf("rank %d in collective %v", r.id, r.parkedOp)
 		default:
 			s += fmt.Sprintf("rank %d blocked", r.id)
 		}
@@ -284,11 +337,11 @@ func (j *Job) describeBlocked() string {
 	return s
 }
 
-// abort releases every non-finished rank goroutine so Run can return.
+// abort releases every non-finished rank goroutine so Run can return. It
+// runs on the scheduler (or epoch driver) goroutine once no rank is being
+// dispatched.
 func (j *Job) abort(err error) {
-	if j.err == nil {
-		j.err = err
-	}
+	j.setErr(err)
 	for _, r := range j.ranks {
 		if r.status == statusDone {
 			continue
@@ -302,8 +355,8 @@ func (j *Job) abort(err error) {
 func (r *Rank) main(body func(*Rank)) {
 	defer func() {
 		if p := recover(); p != nil {
-			if _, isAbort := p.(abortSentinel); !isAbort && r.job.err == nil {
-				r.job.err = fmt.Errorf("mpi: rank %d panicked: %v", r.id, p)
+			if _, isAbort := p.(abortSentinel); !isAbort {
+				r.job.setErr(fmt.Errorf("mpi: rank %d panicked: %v", r.id, p))
 			}
 		}
 		r.status = statusDone
@@ -311,7 +364,7 @@ func (r *Rank) main(body func(*Rank)) {
 		r.yielded <- struct{}{}
 	}()
 	<-r.resume
-	if r.job.aborted || r.job.err != nil {
+	if r.job.aborted || r.job.runErr() != nil {
 		panic(abortSentinel{})
 	}
 	start := r.cr.Cycles
@@ -325,7 +378,7 @@ func (r *Rank) main(body func(*Rank)) {
 func (r *Rank) yield() {
 	r.yielded <- struct{}{}
 	<-r.resume
-	if r.job.err != nil {
+	if r.job.runErr() != nil {
 		panic(abortSentinel{})
 	}
 }

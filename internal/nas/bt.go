@@ -83,7 +83,7 @@ func buildBT(cfg Config) (*App, error) {
 		}}},
 	}
 
-	progs, err := compilePhases(k, cfg.Opts)
+	progs, err := compilePhases(k, cfg)
 	if err != nil {
 		return nil, err
 	}

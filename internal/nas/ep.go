@@ -75,7 +75,7 @@ func buildEP(cfg Config) (*App, error) {
 		}}},
 	}
 
-	progs, err := compilePhases(k, cfg.Opts)
+	progs, err := compilePhases(k, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -86,5 +86,5 @@ func buildEP(cfg Config) (*App, error) {
 		r.Allreduce(80) // bucket counts
 		r.Allreduce(16) // sx, sy sums
 	}
-	return &App{Name: "ep", Ranks: cfg.Ranks, Kernel: k, Body: body}, nil
+	return &App{Name: "ep", Ranks: cfg.Ranks, Kernel: k, Body: body, CollectivesOnly: true}, nil
 }

@@ -88,7 +88,7 @@ func buildFT(cfg Config) (*App, error) {
 		}}},
 	}
 
-	progs, err := compilePhases(k, cfg.Opts)
+	progs, err := compilePhases(k, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -110,5 +110,5 @@ func buildFT(cfg Config) (*App, error) {
 			r.Allreduce(16) // checksum
 		}
 	}
-	return &App{Name: "ft", Ranks: ranks, Kernel: k, Body: body}, nil
+	return &App{Name: "ft", Ranks: ranks, Kernel: k, Body: body, CollectivesOnly: true}, nil
 }

@@ -80,7 +80,7 @@ func buildIS(cfg Config) (*App, error) {
 		}}},
 	}
 
-	progs, err := compilePhases(k, cfg.Opts)
+	progs, err := compilePhases(k, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -100,5 +100,5 @@ func buildIS(cfg Config) (*App, error) {
 		}
 		r.Allreduce(8) // verification
 	}
-	return &App{Name: "is", Ranks: ranks, Kernel: k, Body: body}, nil
+	return &App{Name: "is", Ranks: ranks, Kernel: k, Body: body, CollectivesOnly: true}, nil
 }

@@ -27,6 +27,7 @@ import (
 	"bgpsim/internal/compiler"
 	"bgpsim/internal/isa"
 	"bgpsim/internal/mpi"
+	"bgpsim/internal/progcache"
 )
 
 // Class is a NAS problem class.
@@ -95,6 +96,10 @@ type Config struct {
 	Ranks int
 	// Opts is the compiler build configuration.
 	Opts compiler.Options
+	// Cache, when non-nil, memoizes compilation: phase programs are
+	// looked up by content fingerprint and shared (immutably) across
+	// builds instead of re-lowered. A nil Cache compiles directly.
+	Cache *progcache.Cache
 }
 
 // App is a built benchmark ready to run: hand App.Body to mpi.Job.Run with
@@ -108,6 +113,12 @@ type App struct {
 	Kernel *compiler.Kernel
 	// Body is the per-rank program.
 	Body func(r *mpi.Rank)
+	// CollectivesOnly marks benchmarks whose ranks communicate through
+	// collective operations exclusively (no point-to-point Send/Recv).
+	// Such bodies consist of compute epochs separated by global
+	// synchronization points, which is what makes them eligible for
+	// epoch-parallel execution (mpi.Job.SetEpochJobs).
+	CollectivesOnly bool
 }
 
 // Benchmark is one NAS benchmark.
@@ -221,15 +232,24 @@ func surfaceScaled(classC int64, c Class, min int64) int64 {
 
 // compilePhases compiles every phase of a kernel once, returning them by
 // phase name. The resulting programs are shared by all ranks (each rank
-// binds its own execution state).
-func compilePhases(k *compiler.Kernel, opts compiler.Options) (map[string]*isa.Program, error) {
-	out := make(map[string]*isa.Program, len(k.Phases))
-	for _, ph := range k.Phases {
-		p, err := compiler.Compile(k, ph.Name, opts)
-		if err != nil {
-			return nil, err
+// binds its own execution state). With a cache configured, the whole phase
+// map is memoized by content fingerprint and shared across builds — the
+// programs are immutable after compilation, so sharing is safe at any
+// sweep worker count.
+func compilePhases(k *compiler.Kernel, cfg Config) (map[string]*isa.Program, error) {
+	build := func() (map[string]*isa.Program, error) {
+		out := make(map[string]*isa.Program, len(k.Phases))
+		for _, ph := range k.Phases {
+			p, err := compiler.Compile(k, ph.Name, cfg.Opts)
+			if err != nil {
+				return nil, err
+			}
+			out[ph.Name] = p
 		}
-		out[ph.Name] = p
+		return out, nil
 	}
-	return out, nil
+	if cfg.Cache == nil {
+		return build()
+	}
+	return cfg.Cache.GetOrCompile(progcache.Key(k, cfg.Opts), build)
 }

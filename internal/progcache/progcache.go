@@ -1,0 +1,178 @@
+// Package progcache is the content-addressed compile-and-classification
+// cache of the simulator. Parameter sweeps re-run the same NAS benchmark at
+// many machine configurations, and the compiled programs depend only on the
+// authored kernel IR, the compiler options and the virtual-ISA generation —
+// not on the machine — so adjacent sweep points can share one immutable
+// compilation instead of lowering and classifying the kernel per run.
+//
+// A cache entry is the full phase map of one (kernel, options) build, keyed
+// by a fingerprint of the kernel source, the build flags and isa.Version.
+// Programs are compiled with their loop classifications prebuilt (the
+// compiler calls Classify) and are never mutated afterwards — all run-time
+// state lives in per-rank core.ExecState — so one entry is safely shared by
+// every worker of a sweep. The cache deduplicates concurrent misses: when
+// two workers want the same build, one compiles and the other waits.
+//
+// The cache is a pure host-side optimization with an exactness contract:
+// a cached program is byte-for-byte the program a fresh compilation would
+// produce, so counter dumps are identical with the cache on, off, hot or
+// cold (pinned by the determinism harness in bgp_progcache_test).
+package progcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"bgpsim/internal/compiler"
+	"bgpsim/internal/isa"
+)
+
+// DefaultCapacity bounds the process-wide default cache. The paper's full
+// figure suite needs 8 benchmarks × 7 compiler builds = 56 distinct
+// entries; 256 leaves generous headroom without letting a pathological
+// sweep grow without bound.
+const DefaultCapacity = 256
+
+// Key fingerprints one compilation unit. Two builds collide exactly when
+// they would produce identical programs: the kernel IR (pure value types,
+// so its canonical %+v rendering is deterministic across processes and Go
+// versions), the compiler options, and the virtual-ISA generation all
+// match. Machine parameters are deliberately absent — programs are
+// machine-independent, which is what makes sweep points shareable.
+func Key(k *compiler.Kernel, opts compiler.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "isa=%d\nopts=%+v\nkernel=%+v\n", isa.Version, opts, *k)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats are cumulative cache counters.
+type Stats struct {
+	// Hits counts lookups served from the cache (including lookups that
+	// waited on a concurrent build of the same key).
+	Hits uint64
+	// Misses counts lookups that compiled.
+	Misses uint64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64
+}
+
+// entry is one cached build. ready is closed when progs/err are valid;
+// waiters block on it outside the cache lock so a slow compilation never
+// serializes unrelated lookups.
+type entry struct {
+	key   string
+	elem  *list.Element
+	ready chan struct{}
+	progs map[string]*isa.Program
+	err   error
+}
+
+// Cache is a bounded LRU of compiled phase maps, safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*entry
+	order    *list.List // front = most recently used; values are *entry
+	stats    Stats
+}
+
+// New creates a cache holding at most capacity builds; capacity < 1 means
+// unbounded.
+func New(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[string]*entry),
+		order:    list.New(),
+	}
+}
+
+var (
+	defaultOnce  sync.Once
+	defaultCache *Cache
+)
+
+// Default returns the process-wide shared cache every run uses unless a
+// RunConfig overrides or disables it.
+func Default() *Cache {
+	defaultOnce.Do(func() { defaultCache = New(DefaultCapacity) })
+	return defaultCache
+}
+
+// GetOrCompile returns the phase map cached under key, building it with
+// build on a miss. Concurrent callers of the same key share one build.
+// Failed builds are not cached: every caller waiting on the failed build
+// gets its error, and the next lookup retries. The returned map and its
+// programs are shared — callers must treat them as immutable.
+func (c *Cache) GetOrCompile(key string, build func() (map[string]*isa.Program, error)) (map[string]*isa.Program, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.order.MoveToFront(e.elem)
+		c.stats.Hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.progs, e.err
+	}
+	e := &entry{key: key, ready: make(chan struct{})}
+	e.elem = c.order.PushFront(e)
+	c.entries[key] = e
+	c.stats.Misses++
+	c.evictLocked()
+	c.mu.Unlock()
+
+	progs, err := build()
+
+	c.mu.Lock()
+	e.progs, e.err = progs, err
+	if err != nil {
+		// Drop the failed entry (it may already have been evicted).
+		if cur, ok := c.entries[key]; ok && cur == e {
+			c.order.Remove(e.elem)
+			delete(c.entries, key)
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return progs, err
+}
+
+// evictLocked enforces the capacity bound, preferring the least recently
+// used completed entry; in-flight builds are skipped so an eviction never
+// orphans waiters mid-compilation.
+func (c *Cache) evictLocked() {
+	if c.capacity < 1 {
+		return
+	}
+	for el := c.order.Back(); el != nil && len(c.entries) > c.capacity; {
+		prev := el.Prev()
+		e := el.Value.(*entry)
+		done := true
+		select {
+		case <-e.ready:
+		default:
+			done = false
+		}
+		if done {
+			c.order.Remove(el)
+			delete(c.entries, e.key)
+			c.stats.Evictions++
+		}
+		el = prev
+	}
+}
+
+// Len returns the number of cached (including in-flight) builds.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

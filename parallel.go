@@ -9,6 +9,7 @@ import (
 	"bgpsim/internal/bgpctr"
 	"bgpsim/internal/faults"
 	"bgpsim/internal/obs"
+	"bgpsim/internal/progcache"
 	"bgpsim/internal/sweep"
 )
 
@@ -82,6 +83,21 @@ type SweepConfig struct {
 	// exercisable in CI, byte-for-byte reproducibly. Injected faults
 	// never touch simulation RNG streams.
 	Faults *faults.Injector
+
+	// ProgCache is the compile/classification cache shared by the
+	// sweep's runs (applied to runs that don't set their own); nil uses
+	// the process-wide cache. Sweep points differing only in machine
+	// parameters then compile each benchmark exactly once, sharing the
+	// immutable programs across workers. NoProgCache disables
+	// memoization for every run of the sweep. Neither affects results
+	// or checkpoint identity.
+	ProgCache *progcache.Cache
+	// NoProgCache disables cross-run compile memoization.
+	NoProgCache bool
+	// EpochJobs is applied to runs that leave RunConfig.EpochJobs zero:
+	// intra-run epoch parallelism for collectives-only benchmarks. Like
+	// the cache, it never affects results or checkpoint identity.
+	EpochJobs int
 }
 
 // RunAll executes independent runs concurrently on a bounded worker pool
@@ -150,6 +166,15 @@ func RunAll(ctx context.Context, cfgs []RunConfig, sc SweepConfig) ([]*Result, e
 		key := RunKey(i, cfg)
 		if cfg.Observer == nil {
 			cfg.Observer = sc.Observer
+		}
+		if cfg.ProgCache == nil {
+			cfg.ProgCache = sc.ProgCache
+		}
+		if sc.NoProgCache {
+			cfg.NoProgCache = true
+		}
+		if cfg.EpochJobs == 0 {
+			cfg.EpochJobs = sc.EpochJobs
 		}
 		if ckpt != nil && (sc.Resume || sc.ResumeOnly) {
 			if res := ckpt.restore(key, cfg); res != nil {

@@ -7,21 +7,43 @@
 # re-runs the figure-6 profile with BGP_ENGINE=interpreter to measure the
 # reference per-trip interpreter on the same tree, and derives the engine
 # speedup. The figure-6 profile also runs with a metrics recorder attached
-# (BenchmarkFig06InstructionProfileObserved), and the observer-over-nil
-# ns/op ratio is recorded as fig06_observer_over_nil — the observability
-# layer's overhead budget is <2% (ratio <1.02). COUNT (default 3) controls
-# benchmark repetitions; the minimum ns/op across repetitions is kept,
-# which is the usual robust estimator on shared/virtualized hosts.
+# (BenchmarkFig06InstructionProfileObserved) and with the compile cache
+# disabled (BenchmarkFig06InstructionProfileCold); the ns/op ratios are
+# recorded as fig06_observer_over_nil (budget <1.02) and
+# fig06_memoized_over_cold (the cross-run memoization payoff, <=1).
+# COUNT (default 3) controls benchmark repetitions; the minimum ns/op
+# across repetitions is kept, which is the usual robust estimator on
+# shared/virtualized hosts.
 #
 # Usage: scripts/bench.sh [output.json]
+#        scripts/bench.sh --compare [baseline.json [output.json]]
+#
+# With --compare the script benchmarks as usual, then diffs the fresh
+# numbers against the baseline (default BENCH_baseline.json): it prints a
+# per-benchmark delta table and fails when any shared benchmark's ns/op
+# regressed by more than REGRESS_PCT percent (default 10). Benchmarks
+# present on only one side are reported but never fail the gate, so adding
+# or retiring a benchmark doesn't require a lockstep baseline update; and
+# benchmarks under MIN_GATE_NS ns/op (default 1e6) are reported but not
+# gated — microbenchmark minima are too noisy for a hard threshold, and
+# the gate's target is the figure-generation hot path.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+COMPARE=""
+BASELINE="BENCH_baseline.json"
+if [[ "${1:-}" == "--compare" ]]; then
+    COMPARE=1
+    shift
+    if [[ $# -gt 0 ]]; then BASELINE="$1"; shift; fi
+fi
 OUT="${1:-BENCH_core.json}"
 COUNT="${COUNT:-3}"
 BENCHTIME="${BENCHTIME:-3x}"
-BENCHES='BenchmarkFig06InstructionProfile$|BenchmarkFig06InstructionProfileObserved$|BenchmarkFig11L3Sweep$|BenchmarkCacheAccess$'
+REGRESS_PCT="${REGRESS_PCT:-10}"
+MIN_GATE_NS="${MIN_GATE_NS:-1000000}"
+BENCHES='BenchmarkFig06InstructionProfile$|BenchmarkFig06InstructionProfileObserved$|BenchmarkFig06InstructionProfileCold$|BenchmarkFig11L3Sweep$|BenchmarkCacheAccess$'
 
 run_bench() { # env-prefix regex -> "name ns_op extra_metric" lines
     local engine="$1" regex="$2"
@@ -72,9 +94,54 @@ observed = fig6 + "Observed"
 if fig6 in batched and observed in batched:
     doc["fig06_observer_over_nil"] = round(
         batched[observed]["ns_per_op"] / batched[fig6]["ns_per_op"], 3)
+cold = fig6 + "Cold"
+if fig6 in batched and cold in batched:
+    doc["fig06_memoized_over_cold"] = round(
+        batched[fig6]["ns_per_op"] / batched[cold]["ns_per_op"], 3)
 
 with open(sys.argv[1], "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"wrote {sys.argv[1]}")
 EOF
+
+if [[ -n "$COMPARE" ]]; then
+    python3 - "$BASELINE" "$OUT" "$REGRESS_PCT" "$MIN_GATE_NS" <<'EOF'
+import json, sys
+
+base_path, out_path, limit_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+min_gate_ns = float(sys.argv[4])
+with open(base_path) as f:
+    base = json.load(f)["engine"]["batched"]
+with open(out_path) as f:
+    fresh = json.load(f)["engine"]["batched"]
+
+print(f"\nbench comparison vs {base_path} (gate: ns/op regression > {limit_pct:g}%)")
+print(f"{'benchmark':<44} {'baseline':>14} {'current':>14} {'delta':>8}")
+failed = []
+for name in sorted(set(base) | set(fresh)):
+    if name not in fresh:
+        print(f"{name:<44} {base[name]['ns_per_op']:>14.0f} {'absent':>14} {'-':>8}")
+        continue
+    if name not in base:
+        print(f"{name:<44} {'absent':>14} {fresh[name]['ns_per_op']:>14.0f} {'-':>8}")
+        continue
+    b, c = base[name]["ns_per_op"], fresh[name]["ns_per_op"]
+    delta = 100.0 * (c - b) / b
+    mark = ""
+    if delta > limit_pct:
+        if b >= min_gate_ns:
+            failed.append((name, delta))
+            mark = "  << REGRESSION"
+        else:
+            mark = "  (not gated)"
+    print(f"{name:<44} {b:>14.0f} {c:>14.0f} {delta:>+7.1f}%{mark}")
+
+if failed:
+    print(f"\nFAIL: {len(failed)} benchmark(s) regressed beyond {limit_pct:g}%:", file=sys.stderr)
+    for name, delta in failed:
+        print(f"  {name}: +{delta:.1f}%", file=sys.stderr)
+    sys.exit(1)
+print("\nbench gate passed")
+EOF
+fi
