@@ -62,6 +62,9 @@ type fileStamp struct {
 // sweep position plus a fingerprint hash, so distinct sweeps sharing a
 // checkpoint directory (bgpreport runs every figure against one) never
 // collide, while re-launching the same sweep maps onto the same entries.
+// Content-addressed callers (the bgpd daemon) always use index 0, so the
+// key depends on the configuration alone and identical submissions from
+// different jobs map onto the same entry.
 func RunKey(index int, cfg RunConfig) string {
 	h := fnv.New32a()
 	h.Write([]byte(fingerprint(cfg)))
@@ -85,22 +88,30 @@ func fingerprint(cfg RunConfig) string {
 	return fmt.Sprintf("%+v", cfg)
 }
 
-// checkpoint manages one checkpoint directory for a sweep.
-type checkpoint struct {
+// CheckpointStore manages one checkpoint directory. A store is safe for
+// concurrent use, and — because the manifest lives in the store's memory
+// between commits — one open store must be shared by everything writing to
+// a directory at the same time: two independently opened stores on one
+// directory would each commit their own manifest view and lose the other's
+// entries. RunAll sweeps sharing a directory concurrently therefore pass
+// the same store via SweepConfig.Checkpoint (the bgpd daemon runs this way
+// for its whole lifetime); sequential sweeps may keep using CheckpointDir,
+// which opens a store per call.
+type CheckpointStore struct {
 	dir string
 
 	mu sync.Mutex
 	m  manifest
 }
 
-// openCheckpoint creates (or, when resuming, loads) the checkpoint at dir.
-// A missing or unreadable manifest resumes as empty — every run simply
-// re-executes.
-func openCheckpoint(dir string, resume bool) (*checkpoint, error) {
+// OpenCheckpointStore creates (or, when resume is set, loads) the
+// checkpoint store at dir. A missing or unreadable manifest loads as empty
+// — every run simply re-executes.
+func OpenCheckpointStore(dir string, resume bool) (*CheckpointStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("bgp: creating checkpoint dir: %w", err)
 	}
-	c := &checkpoint{dir: dir, m: manifest{Version: manifestVersion, Entries: map[string]manifestEntry{}}}
+	c := &CheckpointStore{dir: dir, m: manifest{Version: manifestVersion, Entries: map[string]manifestEntry{}}}
 	if !resume {
 		return c, nil
 	}
@@ -116,10 +127,33 @@ func openCheckpoint(dir string, resume bool) (*checkpoint, error) {
 	return c, nil
 }
 
+// Dir returns the store's directory.
+func (c *CheckpointStore) Dir() string { return c.dir }
+
+// Len returns the number of manifest entries currently indexed.
+func (c *CheckpointStore) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m.Entries)
+}
+
+// Restore rebuilds the Result checkpointed under key, or returns nil when
+// the entry is absent, stamped for a different configuration, or any
+// artifact is missing or corrupt — in which case the caller re-executes.
+func (c *CheckpointStore) Restore(key string, cfg RunConfig) *Result {
+	return c.restore(key, cfg)
+}
+
+// Persist writes res's dump files under the store and commits its manifest
+// entry atomically.
+func (c *CheckpointStore) Persist(key string, cfg RunConfig, res *Result) error {
+	return c.persist(key, cfg, res, nil)
+}
+
 // restore rebuilds the Result of a checkpointed run, or returns nil when the
 // entry is absent, stamped for a different configuration, or any artifact is
 // missing or corrupt — in which case the caller re-executes the run.
-func (c *checkpoint) restore(key string, cfg RunConfig) *Result {
+func (c *CheckpointStore) restore(key string, cfg RunConfig) *Result {
 	c.mu.Lock()
 	e, ok := c.m.Entries[key]
 	c.mu.Unlock()
@@ -160,7 +194,7 @@ func (c *checkpoint) restore(key string, cfg RunConfig) *Result {
 // manifest entry atomically. mutate, when non-nil, transforms each file's
 // bytes after the stamps are computed — the fault injector's write-path
 // corruption hook; resume validation is what must catch the damage.
-func (c *checkpoint) persist(key string, cfg RunConfig, res *Result, mutate func(name string, blob []byte) []byte) error {
+func (c *CheckpointStore) persist(key string, cfg RunConfig, res *Result, mutate func(name string, blob []byte) []byte) error {
 	runDir := filepath.Join(c.dir, key)
 	if err := os.MkdirAll(runDir, 0o755); err != nil {
 		return err

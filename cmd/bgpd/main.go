@@ -1,0 +1,104 @@
+// Bgpd is the simulation-as-a-service daemon: a long-running HTTP server
+// that accepts simulation and sweep jobs, executes them on the bounded
+// sweep pool, and deduplicates identical submissions through a
+// content-addressed result cache backed by the checkpoint store.
+//
+//	bgpd -addr localhost:8077 -checkpoint ./bgpd-ckpt
+//
+// Submit a job, poll it, fetch the results:
+//
+//	curl -s -X POST localhost:8077/v1/jobs -d '{
+//	  "tenant": "alice",
+//	  "runs": [{"benchmark": "ep", "class": "S", "ranks": 4, "mode": "vnm",
+//	            "opts": "-O5 -qarch=440d"}]
+//	}'
+//	curl -s localhost:8077/v1/jobs/<id>
+//	curl -s localhost:8077/v1/jobs/<id>/result            # metrics CSV
+//	curl -s 'localhost:8077/v1/jobs/<id>/result?run=0&node=0' > node0.bgpc
+//
+// Dumps are deterministic functions of the run configuration, so results
+// are content-addressed and safely shared: re-submitting an identical spec
+// — by any tenant — returns the persisted result without re-simulating,
+// and concurrent submissions of the same configuration coalesce onto one
+// in-flight simulation. The checkpoint directory is the durable tier: a
+// restarted daemon rescans MANIFEST.json and keeps serving previously
+// completed work. The /metrics endpoint exposes the server.* cache and
+// admission counters alongside the sim.* and sweep.* metrics of the runs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bgpsim/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bgpd: ")
+	os.Exit(run())
+}
+
+// run carries the whole daemon so deferred shutdown fires before the
+// process exits with a status code.
+func run() int {
+	var (
+		addr       = flag.String("addr", "localhost:8077", "HTTP listen address")
+		checkpoint = flag.String("checkpoint", "bgpd-ckpt", "checkpoint directory: the daemon's durable result store")
+		runWorkers = flag.Int("run-workers", 0, "concurrent simulations across all jobs (0 = one per host core)")
+		jobWorkers = flag.Int("job-workers", 0, "concurrent jobs (0 = default 4)")
+		queueDepth = flag.Int("queue", 0, "bounded job queue depth; submissions past it get 429 (0 = default 64)")
+		tenantJobs = flag.Int("tenant-jobs", 0, "active jobs allowed per tenant; submissions past it get 429 (0 = default 8)")
+		maxRetries = flag.Int("max-retries", 0, "cap on the per-run retry budget a job may request (0 = default 3)")
+		maxTimeout = flag.Duration("max-run-timeout", 0, "cap on the per-attempt deadline a job may request (0 = default 10m)")
+	)
+	flag.Parse()
+
+	s, err := server.New(server.Config{
+		CheckpointDir: *checkpoint,
+		RunWorkers:    *runWorkers,
+		JobWorkers:    *jobWorkers,
+		QueueDepth:    *queueDepth,
+		TenantJobs:    *tenantJobs,
+		MaxRetries:    *maxRetries,
+		MaxRunTimeout: *maxTimeout,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer s.Close()
+	log.Printf("checkpoint store %s: %d completed runs indexed", *checkpoint, s.Store().Len())
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving http://%s/v1/jobs (metrics at /metrics)", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Print(err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful stop: finish in-flight HTTP exchanges, then cancel the
+	// simulations (completed runs are already persisted; a restart
+	// resumes from the store).
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	return 0
+}

@@ -1,0 +1,416 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	bgp "bgpsim"
+	"bgpsim/internal/faults"
+	"bgpsim/internal/obs"
+)
+
+// Server metric names, exported through the obs registry at /metrics.
+const (
+	// MetricJobsSubmitted counts accepted submissions (new jobs queued).
+	MetricJobsSubmitted = "server.jobs.submitted"
+	// MetricJobsDeduped counts submissions answered with an existing job.
+	MetricJobsDeduped = "server.jobs.deduped"
+	// MetricJobsRejected counts submissions refused with 429 (queue
+	// overflow or per-tenant concurrency limit).
+	MetricJobsRejected = "server.jobs.rejected"
+	// MetricJobsDone / MetricJobsFailed count terminal job states.
+	MetricJobsDone   = "server.jobs.done"
+	MetricJobsFailed = "server.jobs.failed"
+	// MetricJobsActive gauges jobs admitted but not yet terminal.
+	MetricJobsActive = "server.jobs.active"
+	// MetricQueueDepth gauges jobs waiting for a job worker.
+	MetricQueueDepth = "server.queue.depth"
+	// MetricCacheHit counts runs served without simulating: coalesced
+	// onto an in-flight simulation or restored from the checkpoint
+	// store. The breakdowns sum to it.
+	MetricCacheHit         = "server.cache.hit"
+	MetricCacheHitInflight = "server.cache.hit_inflight"
+	MetricCacheHitStore    = "server.cache.hit_store"
+	// MetricCacheMiss counts runs that executed a simulation.
+	MetricCacheMiss = "server.cache.miss"
+)
+
+// Config parameterizes a Server. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// CheckpointDir is the durable result store; required.
+	CheckpointDir string
+	// RunWorkers bounds concurrent simulations across all jobs
+	// (default GOMAXPROCS).
+	RunWorkers int
+	// JobWorkers bounds jobs executing concurrently (default 4).
+	JobWorkers int
+	// QueueDepth bounds jobs admitted but not yet picked up by a job
+	// worker; submissions past it are refused with 429 (default 64).
+	QueueDepth int
+	// TenantJobs bounds one tenant's active (queued + running) jobs;
+	// submissions past it are refused with 429 (default 8).
+	TenantJobs int
+	// MaxRetries caps the per-run retry budget a spec may request
+	// (default 3).
+	MaxRetries int
+	// MaxRunTimeout caps the per-attempt deadline a spec may request
+	// (default 10m). Specs requesting none run unbounded.
+	MaxRunTimeout time.Duration
+	// Faults, when non-nil, is the deterministic fault injector consulted
+	// by every run attempt — the chaos knob, exactly as in batch sweeps.
+	Faults *faults.Injector
+	// Registry, when non-nil, receives the server's metrics; nil creates
+	// a private registry (retrievable via Registry).
+	Registry *obs.Registry
+}
+
+// withDefaults resolves the zero-value fields.
+func (c Config) withDefaults() Config {
+	if c.RunWorkers < 1 {
+		c.RunWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.JobWorkers < 1 {
+		c.JobWorkers = 4
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.TenantJobs < 1 {
+		c.TenantJobs = 8
+	}
+	if c.MaxRetries < 1 {
+		c.MaxRetries = 3
+	}
+	if c.MaxRunTimeout <= 0 {
+		c.MaxRunTimeout = 10 * time.Minute
+	}
+	return c
+}
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// job is one admitted submission.
+type job struct {
+	id         string
+	tenant     string
+	cfgs       []bgp.RunConfig
+	retries    int
+	runTimeout time.Duration
+	created    time.Time
+
+	mu        sync.Mutex
+	state     string
+	completed int
+	failed    int
+	cacheHits int
+	errMsg    string
+	results   []*bgp.Result
+	done      chan struct{} // closed when the job reaches a terminal state
+}
+
+// flight is one in-flight resolution of a RunKey; waiters block on ready
+// and then read res/err, exactly the progcache dedup shape.
+type flight struct {
+	ready chan struct{}
+	res   *bgp.Result
+	err   error
+}
+
+// Server runs simulation jobs behind an HTTP API with a content-addressed
+// result cache. Create one with New, mount Handler, and Close it to stop.
+type Server struct {
+	cfg      Config
+	store    *bgp.CheckpointStore
+	reg      *obs.Registry
+	observer bgp.Observer
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  chan *job
+	wg     sync.WaitGroup
+	runSem chan struct{}
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	tenants map[string]int
+	flights map[string]*flight
+
+	jobsSubmitted, jobsDeduped, jobsRejected *obs.Counter
+	jobsDone, jobsFailed                     *obs.Counter
+	jobsActive, queueDepth                   *obs.Gauge
+	cacheHit, cacheHitInflight               *obs.Counter
+	cacheHitStore, cacheMiss                 *obs.Counter
+}
+
+// New opens the checkpoint store (rescanning any existing manifest, so a
+// restarted daemon serves previously completed work from disk) and starts
+// the job workers.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("server: CheckpointDir is required")
+	}
+	store, err := bgp.OpenCheckpointStore(cfg.CheckpointDir, true)
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		store:    store,
+		reg:      reg,
+		observer: obs.NewRecorder(reg, nil),
+		ctx:      ctx,
+		cancel:   cancel,
+		queue:    make(chan *job, cfg.QueueDepth),
+		runSem:   make(chan struct{}, cfg.RunWorkers),
+		jobs:     make(map[string]*job),
+		tenants:  make(map[string]int),
+		flights:  make(map[string]*flight),
+
+		jobsSubmitted:    reg.Counter(MetricJobsSubmitted),
+		jobsDeduped:      reg.Counter(MetricJobsDeduped),
+		jobsRejected:     reg.Counter(MetricJobsRejected),
+		jobsDone:         reg.Counter(MetricJobsDone),
+		jobsFailed:       reg.Counter(MetricJobsFailed),
+		jobsActive:       reg.Gauge(MetricJobsActive),
+		queueDepth:       reg.Gauge(MetricQueueDepth),
+		cacheHit:         reg.Counter(MetricCacheHit),
+		cacheHitInflight: reg.Counter(MetricCacheHitInflight),
+		cacheHitStore:    reg.Counter(MetricCacheHitStore),
+		cacheMiss:        reg.Counter(MetricCacheMiss),
+	}
+	for i := 0; i < cfg.JobWorkers; i++ {
+		s.wg.Add(1)
+		go s.jobWorker()
+	}
+	return s, nil
+}
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Store returns the server's checkpoint store.
+func (s *Server) Store() *bgp.CheckpointStore { return s.store }
+
+// Close stops the server: in-flight simulations are cancelled (their jobs
+// fail with the cancellation error; completed runs are already persisted,
+// so a restarted server resumes from them) and the workers drain.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// Submit admits one decoded job. It returns the (possibly pre-existing)
+// job and created=true when this call queued a new job; a non-nil error is
+// an admission refusal (per-tenant limit or queue overflow) that handlers
+// render as 429.
+func (s *Server) Submit(spec *JobSpec, cfgs []bgp.RunConfig) (j *job, created bool, err error) {
+	id := JobID(spec, cfgs)
+	retries := spec.Retries
+	if retries > s.cfg.MaxRetries {
+		retries = s.cfg.MaxRetries
+	}
+	timeout := spec.RunTimeout()
+	if timeout > s.cfg.MaxRunTimeout {
+		timeout = s.cfg.MaxRunTimeout
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		j.mu.Lock()
+		terminalFailed := j.state == StateFailed
+		j.mu.Unlock()
+		if !terminalFailed {
+			// Idempotent resubmission: same content address, same job.
+			s.jobsDeduped.Inc()
+			return j, false, nil
+		}
+		// A failed job may be resubmitted; it re-queues as a fresh job
+		// below (completed runs will restore from the store).
+		delete(s.jobs, id)
+	}
+	if s.tenants[spec.Tenant] >= s.cfg.TenantJobs {
+		s.jobsRejected.Inc()
+		return nil, false, fmt.Errorf("tenant %q has %d active jobs (limit %d)",
+			spec.Tenant, s.tenants[spec.Tenant], s.cfg.TenantJobs)
+	}
+	j = &job{
+		id:         id,
+		tenant:     spec.Tenant,
+		cfgs:       cfgs,
+		retries:    retries,
+		runTimeout: timeout,
+		created:    time.Now(),
+		state:      StateQueued,
+		results:    make([]*bgp.Result, len(cfgs)),
+		done:       make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.jobsRejected.Inc()
+		return nil, false, fmt.Errorf("job queue full (%d queued)", s.cfg.QueueDepth)
+	}
+	s.jobs[id] = j
+	s.tenants[spec.Tenant]++
+	s.jobsSubmitted.Inc()
+	s.jobsActive.Add(1)
+	s.queueDepth.Set(int64(len(s.queue)))
+	return j, true, nil
+}
+
+// lookup returns the job with the given id.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// jobWorker drains the queue until the server closes.
+func (s *Server) jobWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-s.queue:
+			s.mu.Lock()
+			s.queueDepth.Set(int64(len(s.queue)))
+			s.mu.Unlock()
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes every run of a job, resolving each through the result
+// cache, and drives the job to its terminal state.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for i := range j.cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, hit, err := s.resolve(s.ctx, j.cfgs[i], j.retries, j.runTimeout)
+			j.mu.Lock()
+			defer j.mu.Unlock()
+			if err != nil {
+				j.failed++
+				if j.errMsg == "" {
+					j.errMsg = fmt.Sprintf("run %d: %v", i, err)
+				}
+				return
+			}
+			j.results[i] = res
+			j.completed++
+			if hit {
+				j.cacheHits++
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	j.mu.Lock()
+	if j.failed > 0 {
+		j.state = StateFailed
+		s.jobsFailed.Inc()
+	} else {
+		j.state = StateDone
+		s.jobsDone.Inc()
+	}
+	close(j.done)
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	s.tenants[j.tenant]--
+	if s.tenants[j.tenant] == 0 {
+		delete(s.tenants, j.tenant)
+	}
+	s.jobsActive.Add(-1)
+	s.mu.Unlock()
+}
+
+// resolve produces the result of one run configuration through the
+// two-tier cache: coalesce onto an in-flight simulation of the same
+// RunKey, else restore from the checkpoint store, else simulate (and
+// persist). hit reports whether a simulation was avoided.
+func (s *Server) resolve(ctx context.Context, cfg bgp.RunConfig, retries int, runTimeout time.Duration) (res *bgp.Result, hit bool, err error) {
+	key := bgp.RunKey(0, cfg)
+
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		s.cacheHit.Inc()
+		s.cacheHitInflight.Inc()
+		select {
+		case <-f.ready:
+			return f.res, true, f.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	f := &flight{ready: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	res, hit, err = s.build(ctx, key, cfg, retries, runTimeout)
+	f.res, f.err = res, err
+	close(f.ready)
+	// Drop the completed flight: late arrivals find the result in the
+	// store (persisted before the flight closed) — or, after a failure,
+	// rebuild it themselves.
+	s.mu.Lock()
+	delete(s.flights, key)
+	s.mu.Unlock()
+	return res, hit, err
+}
+
+// build resolves a flight: store restore first, then a bounded, fully
+// resilient single-run sweep that persists into the shared store. The
+// returned bool reports a store hit (no simulation executed).
+func (s *Server) build(ctx context.Context, key string, cfg bgp.RunConfig, retries int, runTimeout time.Duration) (*bgp.Result, bool, error) {
+	if res := s.store.Restore(key, cfg); res != nil {
+		s.cacheHit.Inc()
+		s.cacheHitStore.Inc()
+		return res, true, nil
+	}
+	s.cacheMiss.Inc()
+	select {
+	case s.runSem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	defer func() { <-s.runSem }()
+	results, err := bgp.RunAll(ctx, []bgp.RunConfig{cfg}, bgp.SweepConfig{
+		Workers:    1,
+		Checkpoint: s.store,
+		Retries:    retries,
+		RunTimeout: runTimeout,
+		Faults:     s.cfg.Faults,
+		Observer:   s.observer,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return results[0], false, nil
+}

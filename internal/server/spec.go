@@ -1,0 +1,220 @@
+// Package server is the simulation-as-a-service layer of the suite: a
+// long-running HTTP daemon (cmd/bgpd) that accepts simulation and sweep
+// jobs, executes them on the existing sweep machinery, and deduplicates
+// identical work through a content-addressed result cache.
+//
+// The cache has two tiers, both keyed by the RunKey fingerprint of the run
+// configuration. The durable tier is the CRC-stamped checkpoint store from
+// the batch sweeps: a submitted run whose fingerprint already has a valid
+// dump set on disk is restored instead of simulated, which also makes the
+// daemon restartable — a fresh instance rescans MANIFEST.json and serves
+// previously completed work without re-simulating. The in-flight tier is a
+// flight table in the style of internal/progcache's ready channels:
+// concurrent submissions of the same fingerprint coalesce onto one running
+// simulation, and every waiter receives the one result. Dumps are
+// deterministic functions of the configuration (the determinism harnesses
+// in the root package pin this), so cached results are byte-identical to a
+// fresh simulation and safely shareable across tenants.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	bgp "bgpsim"
+	"bgpsim/internal/machine"
+)
+
+// Spec limits. MaxRunsPerJob bounds the fan-out of one sweep submission;
+// MaxRanks bounds one simulation's size (the paper's largest configuration
+// is 128 ranks; 1024 leaves headroom without letting one request book an
+// absurd partition).
+const (
+	MaxRunsPerJob = 256
+	MaxRanks      = 1024
+)
+
+// RunSpec is the wire form of one simulation point.
+type RunSpec struct {
+	// Benchmark is the NAS benchmark name ("mg", "ft", ...).
+	Benchmark string `json:"benchmark"`
+	// Class is the problem-class letter ("S", "W", "A", "B", "C").
+	Class string `json:"class"`
+	// Ranks is the requested MPI process count.
+	Ranks int `json:"ranks"`
+	// Mode is the node operating mode ("smp1", "smp4", "dual", "vnm").
+	Mode string `json:"mode"`
+	// Opts is the compiler-flag spelling, e.g. "-O5 -qarch=440d".
+	Opts string `json:"opts,omitempty"`
+	// Nodes overrides the partition size (0 books what the ranks need).
+	Nodes int `json:"nodes,omitempty"`
+	// L3Bytes overrides the shared L3 capacity (negative disables it).
+	L3Bytes int `json:"l3_bytes,omitempty"`
+	// L2PrefetchDepth overrides the L2 stream-prefetch depth (negative
+	// disables prefetching).
+	L2PrefetchDepth int `json:"l2_prefetch_depth,omitempty"`
+	// L3PrefetchDepth enables the memory-side L3 prefetch engine.
+	L3PrefetchDepth int `json:"l3_prefetch_depth,omitempty"`
+}
+
+// JobSpec is the wire form of one job: a batch of independent simulation
+// points plus the resilience knobs of the underlying sweep.
+type JobSpec struct {
+	// Tenant attributes the job for concurrency accounting; empty means
+	// "anonymous". Results are shared across tenants (they are pure
+	// functions of the run configuration) — only admission is per-tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Runs are the simulation points; a single run is a list of one.
+	Runs []RunSpec `json:"runs"`
+	// Retries is the per-run retry budget for transient failures.
+	Retries int `json:"retries,omitempty"`
+	// RunTimeoutMS bounds each run attempt in milliseconds (0 = none).
+	RunTimeoutMS int64 `json:"run_timeout_ms,omitempty"`
+}
+
+// SpecError is a job-spec validation failure; handlers render it as a 400.
+type SpecError struct{ Reason string }
+
+// Error returns the validation failure.
+func (e *SpecError) Error() string { return "spec: " + e.Reason }
+
+// specErrf builds a SpecError.
+func specErrf(format string, args ...any) error {
+	return &SpecError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// knownBenchmarks caches the suite's benchmark names for validation.
+var knownBenchmarks = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, name := range bgp.Benchmarks() {
+		m[name] = true
+	}
+	return m
+}()
+
+// parseOpMode maps the wire spelling of an operating mode.
+func parseOpMode(s string) (bgp.OpMode, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "SMP1", "SMP/1", "SMP":
+		return machine.SMP1, nil
+	case "SMP4", "SMP/4":
+		return machine.SMP4, nil
+	case "DUAL":
+		return machine.Dual, nil
+	case "VNM", "VN":
+		return machine.VNM, nil
+	}
+	return 0, fmt.Errorf("unknown operating mode %q", s)
+}
+
+// Compile validates one run spec and lowers it to a RunConfig.
+func (rs RunSpec) Compile() (bgp.RunConfig, error) {
+	var cfg bgp.RunConfig
+	if !knownBenchmarks[rs.Benchmark] {
+		return cfg, specErrf("unknown benchmark %q (have %s)", rs.Benchmark, strings.Join(bgp.Benchmarks(), ", "))
+	}
+	class, err := bgp.ParseClass(rs.Class)
+	if err != nil {
+		return cfg, specErrf("class: %v", err)
+	}
+	if rs.Ranks <= 0 {
+		return cfg, specErrf("non-positive rank count %d", rs.Ranks)
+	}
+	if rs.Ranks > MaxRanks {
+		return cfg, specErrf("rank count %d exceeds the %d limit", rs.Ranks, MaxRanks)
+	}
+	mode, err := parseOpMode(rs.Mode)
+	if err != nil {
+		return cfg, specErrf("mode: %v", err)
+	}
+	opts, err := bgp.ParseOptions(rs.Opts)
+	if err != nil {
+		return cfg, specErrf("opts: %v", err)
+	}
+	if rs.Nodes < 0 {
+		return cfg, specErrf("negative node count %d", rs.Nodes)
+	}
+	if rs.Nodes > MaxRanks {
+		return cfg, specErrf("node count %d exceeds the %d limit", rs.Nodes, MaxRanks)
+	}
+	return bgp.RunConfig{
+		Benchmark:       rs.Benchmark,
+		Class:           class,
+		Ranks:           rs.Ranks,
+		Mode:            mode,
+		Opts:            opts,
+		Nodes:           rs.Nodes,
+		L3Bytes:         rs.L3Bytes,
+		L2PrefetchDepth: rs.L2PrefetchDepth,
+		L3PrefetchDepth: rs.L3PrefetchDepth,
+	}, nil
+}
+
+// DecodeJobSpec reads and validates one job submission. The decode is
+// strict — unknown fields, trailing garbage and malformed JSON are all
+// SpecErrors, never panics (FuzzDecodeJobSpec pins this) — and the
+// returned configurations are fully lowered, so a spec that decodes is a
+// spec the simulator will accept.
+func DecodeJobSpec(r io.Reader) (*JobSpec, []bgp.RunConfig, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, nil, specErrf("decoding job: %v", err)
+	}
+	if dec.More() {
+		return nil, nil, specErrf("trailing data after job object")
+	}
+	if spec.Tenant == "" {
+		spec.Tenant = "anonymous"
+	}
+	if len(spec.Tenant) > 128 {
+		return nil, nil, specErrf("tenant name exceeds 128 bytes")
+	}
+	if len(spec.Runs) == 0 {
+		return nil, nil, specErrf("job has no runs")
+	}
+	if len(spec.Runs) > MaxRunsPerJob {
+		return nil, nil, specErrf("job has %d runs, limit is %d", len(spec.Runs), MaxRunsPerJob)
+	}
+	if spec.Retries < 0 {
+		return nil, nil, specErrf("negative retry budget %d", spec.Retries)
+	}
+	if spec.RunTimeoutMS < 0 {
+		return nil, nil, specErrf("negative run timeout %dms", spec.RunTimeoutMS)
+	}
+	cfgs := make([]bgp.RunConfig, len(spec.Runs))
+	for i, rs := range spec.Runs {
+		cfg, err := rs.Compile()
+		if err != nil {
+			return nil, nil, specErrf("run %d: %v", i, err)
+		}
+		cfgs[i] = cfg
+	}
+	return &spec, cfgs, nil
+}
+
+// RunTimeout returns the spec's per-attempt deadline as a duration.
+func (s *JobSpec) RunTimeout() time.Duration {
+	return time.Duration(s.RunTimeoutMS) * time.Millisecond
+}
+
+// JobID is the content address of a submission: a hash of the tenant, the
+// lowered run configurations (via their RunKeys, so exactly the identity
+// the result cache uses) and the resilience knobs. Identical submissions
+// from one tenant map onto one job — POST is idempotent — while the same
+// runs under another tenant form a distinct job whose runs still hit the
+// shared result cache.
+func JobID(spec *JobSpec, cfgs []bgp.RunConfig) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "tenant=%s\nretries=%d\ntimeout=%d\n", spec.Tenant, spec.Retries, spec.RunTimeoutMS)
+	for _, cfg := range cfgs {
+		fmt.Fprintf(h, "%s\n", bgp.RunKey(0, cfg))
+	}
+	return "job-" + hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -64,6 +64,12 @@ type SweepConfig struct {
 	// dump set under a per-run directory there, committing an atomic
 	// manifest after every run.
 	CheckpointDir string
+	// Checkpoint, when non-nil, is an already-open store to persist into,
+	// taking precedence over CheckpointDir. Concurrent RunAll calls
+	// sharing one directory must share one store (each call opening its
+	// own would commit competing manifest views and lose entries); the
+	// bgpd daemon holds one store for its lifetime and passes it here.
+	Checkpoint *CheckpointStore
 	// Resume restores runs whose manifest entry validates (configuration
 	// fingerprint, file sizes and CRCs all match) instead of re-executing
 	// them; runs with missing or corrupt artifacts re-run. Restored
@@ -151,10 +157,10 @@ func RunAll(ctx context.Context, cfgs []RunConfig, sc SweepConfig) ([]*Result, e
 			}
 		}
 	}
-	var ckpt *checkpoint
-	if sc.CheckpointDir != "" {
+	ckpt := sc.Checkpoint
+	if ckpt == nil && sc.CheckpointDir != "" {
 		var err error
-		ckpt, err = openCheckpoint(sc.CheckpointDir, sc.Resume || sc.ResumeOnly)
+		ckpt, err = OpenCheckpointStore(sc.CheckpointDir, sc.Resume || sc.ResumeOnly)
 		if err != nil {
 			return nil, err
 		}
