@@ -14,6 +14,12 @@ package bgp_test
 // of the batched execution engine; scripts/bench.sh runs the figure-6
 // benchmark both ways and reports the engine speedup in BENCH_core.json.
 // The series produced are bit-identical either way (see bgp_engine_test.go).
+//
+// BGP_NO_FASTFORWARD and BGP_NO_EPOCHMEMO (any non-empty value) disable
+// epoch fast-forwarding and the epoch memo; scripts/bench.sh runs figure 6
+// with both off and reports the combined speedup as
+// fig06_fastforward_over_batched. These are bit-identical too (the
+// determinism suites assert it).
 
 import (
 	"fmt"
@@ -40,6 +46,8 @@ func benchScale() experiments.Scale {
 		s = experiments.QuickScale()
 	}
 	s.Interpreter = os.Getenv("BGP_ENGINE") == "interpreter"
+	s.NoFastForward = os.Getenv("BGP_NO_FASTFORWARD") != ""
+	s.NoEpochMemo = os.Getenv("BGP_NO_EPOCHMEMO") != ""
 	return s
 }
 

@@ -27,11 +27,14 @@ package bgp
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"bgpsim/internal/bgpctr"
 	"bgpsim/internal/compiler"
 	"bgpsim/internal/core"
+	"bgpsim/internal/epochmemo"
+	"bgpsim/internal/isa"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
 	"bgpsim/internal/nas"
@@ -175,10 +178,13 @@ type RunConfig struct {
 	// execute barrier-to-barrier epochs across up to this many host
 	// cores inside one simulation. Dumps and metrics are byte-identical
 	// to serial execution at every value (see internal/mpi's epoch
-	// scheduler for the argument); values below 2, benchmarks with
-	// point-to-point communication, and runs with an Observer or
-	// Timeline attached use the serial scheduler. Like the Observer,
-	// the knob is excluded from checkpoint fingerprints.
+	// scheduler for the argument). Zero means runtime.GOMAXPROCS(0) —
+	// multi-core hosts get epoch parallelism without asking — and 1
+	// selects the serial scheduler explicitly. Benchmarks with
+	// point-to-point communication, runs with a Timeline attached, and
+	// runs whose Observer consumes spans (a tracing Recorder) use the
+	// serial scheduler regardless. Like the Observer, the knob is
+	// excluded from checkpoint fingerprints.
 	EpochJobs int
 	// ProgCache overrides the compile/classification cache consulted for
 	// this run; nil uses the process-wide shared cache. Cached programs
@@ -191,6 +197,23 @@ type RunConfig struct {
 	// lowers and classifies its kernel from scratch). Also excluded from
 	// checkpoint fingerprints.
 	NoProgCache bool
+	// NoFastForward disables epoch fast-forwarding (on by default): when
+	// a rank is the only runnable rank of its scheduling domain, its
+	// compute phases run to completion in one dispatch instead of bounded
+	// time slices. The accelerated path is bit-identical in every counter
+	// and dump (the batched engine's exactness contract at a different
+	// limit); the flag exists for equivalence testing and benchmarking.
+	// Excluded from checkpoint fingerprints.
+	NoFastForward bool
+	// NoEpochMemo disables the epoch memo (on by default): collective-to-
+	// collective epochs are content-addressed by a sha256 of the machine
+	// state, rank histories and configuration in a process-wide cache, so
+	// reruns of an identical configuration replay recorded epochs instead
+	// of simulating them. Replay is byte-identical by construction (see
+	// internal/mpi's memo layer); the flag exists for equivalence testing,
+	// benchmarking, and bodies that read counters mid-run. Excluded from
+	// checkpoint fingerprints.
+	NoEpochMemo bool
 }
 
 // Result is a completed instrumented run.
@@ -228,7 +251,17 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.NoProgCache {
 		cache = nil
 	}
-	app, err := b.Build(nas.Config{Class: cfg.Class, Ranks: ranks, Opts: cfg.Opts, Cache: cache})
+	var progHits, progMisses uint64
+	app, err := b.Build(nas.Config{
+		Class: cfg.Class, Ranks: ranks, Opts: cfg.Opts, Cache: cache,
+		OnCompile: func(hit bool) {
+			if hit {
+				progHits++
+			} else {
+				progMisses++
+			}
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -267,10 +300,18 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.SliceCycles > 0 {
 		j.SetSlice(cfg.SliceCycles)
 	}
-	if cfg.EpochJobs > 1 && app.CollectivesOnly {
-		j.SetEpochJobs(cfg.EpochJobs)
+	epochJobs := cfg.EpochJobs
+	if epochJobs == 0 {
+		epochJobs = runtime.GOMAXPROCS(0)
 	}
-	if ob := cfg.Observer; ob != nil {
+	if epochJobs > 1 && app.CollectivesOnly {
+		j.SetEpochJobs(epochJobs)
+	}
+	j.SetFastForward(!cfg.NoFastForward)
+	if !cfg.NoEpochMemo {
+		j.EnableEpochMemo(epochmemo.Default(), memoConfigKey(cfg))
+	}
+	if ob := cfg.Observer; ob != nil && observerTraces(ob) {
 		j.OnSpan(func(cat, name string, node, rank int, start, end uint64) {
 			ob.Span(obs.Span{Run: label, Cat: cat, Name: name, Node: node, Rank: rank, Start: start, End: end})
 		})
@@ -299,7 +340,16 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 	observePhase(cfg.Observer, label, obs.PhasePostproc, start)
 	if cfg.Observer != nil {
-		cfg.Observer.RunDone(collectRunStats(m, label, metrics.ExecCycles))
+		st := collectRunStats(m, label, metrics.ExecCycles)
+		perf := j.Perf()
+		st.FFDispatches = perf.FFDispatches
+		st.FFCycles = perf.FFCycles
+		st.EpochMemoHits = perf.EpochMemoHits
+		st.EpochMemoMisses = perf.EpochMemoMisses
+		st.EpochMemoStores = perf.EpochMemoStores
+		st.ProgCacheHits = progHits
+		st.ProgCacheMisses = progMisses
+		cfg.Observer.RunDone(st)
 	}
 	return &Result{
 		Config:   cfg,
@@ -319,6 +369,31 @@ func observePhase(o Observer, label string, phase obs.Phase, start time.Time) {
 		return
 	}
 	o.PhaseDone(label, phase, time.Since(start))
+}
+
+// observerTraces reports whether the observer consumes simulated-clock
+// spans. Observers exposing Tracing() (the standard obs.Recorder) are
+// consulted; unknown implementations conservatively receive spans. The
+// distinction matters beyond span delivery: per-span job hooks force the
+// serial scheduler and disable the epoch memo, so a metrics-only recorder
+// must not pay for spans it would only count.
+func observerTraces(o Observer) bool {
+	if t, ok := o.(interface{ Tracing() bool }); ok {
+		return t.Tracing()
+	}
+	return true
+}
+
+// memoConfigKey is the epoch memo's configuration key: everything that
+// shapes a run's execution but lives outside the simulated machine state.
+// The checkpoint fingerprint already captures the workload and machine
+// identity while excluding the host-side execution knobs (observers, cache
+// handles, worker counts, the fast-forward/memo opt-outs themselves) —
+// exactly the split the memo needs — and the ISA version is folded in
+// because compiled program shapes may change across generations while the
+// rest of the configuration spells the same.
+func memoConfigKey(cfg RunConfig) string {
+	return fmt.Sprintf("isa=%d|%s", isa.Version, fingerprint(cfg))
 }
 
 // sweepEvent reports one sweep orchestration event; nil observers cost one

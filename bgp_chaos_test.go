@@ -23,17 +23,23 @@ import (
 
 	bgp "bgpsim"
 	"bgpsim/internal/faults"
+	"bgpsim/internal/obs"
 	"bgpsim/internal/sweep"
 )
 
-// goldenRuns executes each configuration serially and returns the per-config
-// results and raw dump bytes — the reference every recovered sweep must
-// reproduce byte-for-byte.
+// goldenRuns executes each configuration serially on the pure slow path —
+// epoch fast-forwarding and the epoch memo disabled — and returns the
+// per-config results and raw dump bytes: the reference every recovered
+// sweep must reproduce byte-for-byte. The sweeps under test keep the
+// accelerations at their defaults, so every chaos comparison in this file
+// also pins the accelerated paths against the unaccelerated reference.
 func goldenRuns(t *testing.T, root string, cfgs []bgp.RunConfig) ([]*bgp.Result, []map[string][]byte) {
 	t.Helper()
 	results := make([]*bgp.Result, len(cfgs))
 	dumps := make([]map[string][]byte, len(cfgs))
 	for i, cfg := range cfgs {
+		cfg.NoFastForward = true
+		cfg.NoEpochMemo = true
 		cfg.DumpDir = filepath.Join(root, fmt.Sprintf("golden%d", i))
 		if err := os.MkdirAll(cfg.DumpDir, 0o755); err != nil {
 			t.Fatal(err)
@@ -170,7 +176,11 @@ func TestChaosDeterminism(t *testing.T) {
 // (ContinueOnError with one run outlasting its retry budget — the CLI's
 // exit-status-3 case), then resumes from its checkpoints against the warm
 // cache; every recovered run's persisted dumps must stay byte-identical
-// to fault-free serial runs that never saw cache, faults or epoch jobs.
+// to fault-free serial runs that never saw cache, faults, epoch jobs,
+// fast-forwarding or the epoch memo. The sweep repeats configurations, so
+// the later copies replay memoized epochs — an interrupted, retried,
+// fast-forwarded, epoch-replayed sweep still restores the slow path's
+// bytes exactly.
 func TestChaosMemoizedDeterminism(t *testing.T) {
 	cases := epochCases() // collectives-only, so EpochJobs engages
 	cfgs := append(cases, cases[0], cases[1])
@@ -188,6 +198,8 @@ func TestChaosMemoizedDeterminism(t *testing.T) {
 	inj.Arm(keys[2], faults.Panic)                                         // panic isolation with epoch goroutines live
 	inj.Arm(keys[4], faults.Transient, faults.Transient, faults.Transient) // outlasts Retries=1: partial output
 	cache := bgp.NewProgCache(16)
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(reg, nil)
 
 	ckptDir := filepath.Join(root, "ckpt")
 	chaos, err := bgp.RunAll(context.Background(), cfgs, bgp.SweepConfig{
@@ -198,6 +210,7 @@ func TestChaosMemoizedDeterminism(t *testing.T) {
 		Faults:          inj,
 		ProgCache:       cache,
 		EpochJobs:       2,
+		Observer:        rec,
 	})
 	var se *sweep.SweepError
 	if !errors.As(err, &se) {
@@ -211,6 +224,13 @@ func TestChaosMemoizedDeterminism(t *testing.T) {
 	}
 	if s := cache.Stats(); s.Hits == 0 {
 		t.Error("shared program cache saw no hits; memoization never engaged")
+	}
+	// The repeated configurations must have replayed memoized epochs — the
+	// byte comparison below would be vacuous against a fast path that never
+	// ran. Exact counts depend on process-wide memo warmth, so only
+	// engagement is asserted.
+	if c := reg.Snapshot().Counters; c[obs.MetricEpochMemoPrefix+"hits"] == 0 {
+		t.Errorf("epoch memo never replayed an epoch (%shits = 0)", obs.MetricEpochMemoPrefix)
 	}
 
 	// Resume re-runs only the failed run — now entirely from cache hits.

@@ -75,16 +75,18 @@ func RunKey(index int, cfg RunConfig) string {
 // host-side placement (the dump directory) and host-side observation (the
 // observer — an interface value would render as an unstable pointer, and
 // attaching one must not change which checkpoint entries a sweep maps to).
-// The execution knobs EpochJobs/ProgCache/NoProgCache are excluded for the
-// same reason: they change how the host computes the run, provably never
-// what it computes, so a checkpoint written at any setting restores at any
-// other.
+// The execution knobs EpochJobs/ProgCache/NoProgCache/NoFastForward/
+// NoEpochMemo are excluded for the same reason: they change how the host
+// computes the run, provably never what it computes, so a checkpoint
+// written at any setting restores at any other.
 func fingerprint(cfg RunConfig) string {
 	cfg.DumpDir = ""
 	cfg.Observer = nil
 	cfg.EpochJobs = 0
 	cfg.ProgCache = nil
 	cfg.NoProgCache = false
+	cfg.NoFastForward = false
+	cfg.NoEpochMemo = false
 	return fmt.Sprintf("%+v", cfg)
 }
 

@@ -59,6 +59,9 @@ func run() int {
 		resume     = flag.Bool("resume", false, "restore completed runs from -checkpoint instead of re-running them")
 		fromCkpt   = flag.Bool("from-checkpoint", false, "render from -checkpoint alone without simulating; combine with -keep-going for a partial report")
 
+		noFastFwd   = flag.Bool("no-fastforward", false, "disable epoch fast-forwarding; results do not depend on it")
+		noEpochMemo = flag.Bool("no-epochmemo", false, "disable the content-addressed epoch memo; results do not depend on it")
+
 		traceOut    = flag.String("trace", "", "write a Chrome-trace JSONL of sim-cycle spans (ranks, kernels, collectives) to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve the metrics registry over HTTP at this address (e.g. localhost:8080)")
 	)
@@ -91,6 +94,8 @@ func run() int {
 		Resume:        *resume,
 		ResumeOnly:    *fromCkpt,
 		Missing:       missing,
+		NoFastForward: *noFastFwd,
+		NoEpochMemo:   *noEpochMemo,
 	}
 
 	var w io.Writer = os.Stdout

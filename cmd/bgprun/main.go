@@ -57,8 +57,10 @@ func run() int {
 		l3MB        = flag.Int("l3", -1, "L3 size in MB per node (-1 = default 8, 0 = disabled)")
 		nodes       = flag.Int("nodes", 0, "partition size in nodes (0 = as many as the ranks need)")
 		jobs        = flag.Int("jobs", 0, "concurrent simulations for multi-benchmark runs (0 = one per host core)")
-		epochJobs   = flag.Int("epoch-jobs", 0, "host cores per simulation for collectives-only benchmarks (EP, FT, IS); results do not depend on it")
+		epochJobs   = flag.Int("epoch-jobs", 0, "host cores per simulation for collectives-only benchmarks (EP, FT, IS); 0 = one per host core, 1 = serial; results do not depend on it")
 		noProgCache = flag.Bool("no-progcache", false, "disable cross-run compile memoization; results do not depend on it")
+		noFastFwd   = flag.Bool("no-fastforward", false, "disable epoch fast-forwarding (sole-runnable ranks completing compute phases in one dispatch); results do not depend on it")
+		noEpochMemo = flag.Bool("no-epochmemo", false, "disable the content-addressed epoch memo (reruns replaying recorded epochs); results do not depend on it")
 		dumpDir     = flag.String("dump", "", "directory for per-node .bgpc counter dumps")
 		csvOut      = flag.String("csv", "", "write the metrics records to this CSV file")
 		timeline    = flag.String("timeline", "", "write a periodic counter timeline to this CSV file (single benchmark only)")
@@ -190,6 +192,8 @@ func run() int {
 		Resume:          *resume,
 		EpochJobs:       *epochJobs,
 		NoProgCache:     *noProgCache,
+		NoFastForward:   *noFastFwd,
+		NoEpochMemo:     *noEpochMemo,
 	})
 	partial := false
 	if err != nil {

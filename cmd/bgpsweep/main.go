@@ -61,8 +61,10 @@ func run() int {
 		class       = flag.String("class", "B", "problem class: S, W, A, B or C")
 		ranks       = flag.Int("ranks", 32, "process count (class B / 32 ranks reproduces the paper's per-rank regime)")
 		jobs        = flag.Int("jobs", 0, "concurrent simulations (0 = one per host core); results do not depend on it")
-		epochJobs   = flag.Int("epoch-jobs", 0, "host cores per simulation for collectives-only benchmarks (EP, FT, IS); results do not depend on it")
+		epochJobs   = flag.Int("epoch-jobs", 0, "host cores per simulation for collectives-only benchmarks (EP, FT, IS); 0 = one per host core, 1 = serial; results do not depend on it")
 		noProgCache = flag.Bool("no-progcache", false, "disable cross-run compile memoization; results do not depend on it")
+		noFastFwd   = flag.Bool("no-fastforward", false, "disable epoch fast-forwarding; results do not depend on it")
+		noEpochMemo = flag.Bool("no-epochmemo", false, "disable the content-addressed epoch memo; results do not depend on it")
 		progress    = flag.Bool("progress", false, "print sweep progress and throughput to stderr when done")
 
 		retries    = flag.Int("retries", 0, "per-run retry budget for transient failures")
@@ -135,6 +137,8 @@ func run() int {
 		Missing:       missing,
 		EpochJobs:     *epochJobs,
 		NoProgCache:   *noProgCache,
+		NoFastForward: *noFastFwd,
+		NoEpochMemo:   *noEpochMemo,
 	}
 	if *progress {
 		s.Progress = &tracker

@@ -48,6 +48,8 @@ type Session struct {
 	order []int
 	open  map[int]*[upc.NumCounters]uint64 // start snapshots of open sets
 
+	external func() // see SetExternalHook
+
 	finalized bool
 }
 
@@ -82,6 +84,22 @@ func Initialize(n *node.Node, coreID int, mode upc.Mode) *Session {
 	}
 }
 
+// SetExternalHook installs a callback fired by every session operation that
+// reads or advances machine state outside the pure rank execution path
+// (Start, Stop, Finalize). The MPI integration points it at
+// mpi.Job.MarkExternal so the epoch memo knows when counter-library calls
+// touch UPC-visible state mid-run: the whole-application bracketing falls
+// strictly before the first and after the last collective, where the hook
+// is free, while region-bracketing bodies disable memoization for the rest
+// of the run instead of replaying epochs their counter reads depended on.
+func (s *Session) SetExternalHook(fn func()) { s.external = fn }
+
+func (s *Session) markExternal() {
+	if s.external != nil {
+		s.external()
+	}
+}
+
 // Node returns the instrumented node.
 func (s *Session) Node() *node.Node { return s.nd }
 
@@ -97,6 +115,7 @@ func (s *Session) Start(set int) {
 	if _, isOpen := s.open[set]; isOpen {
 		panic(fmt.Sprintf("bgpctr: set %d started twice without Stop", set))
 	}
+	s.markExternal()
 	s.nd.Cores[s.coreID].AdvanceCycles(StartOverhead)
 	snap := new([upc.NumCounters]uint64)
 	s.nd.UPC.ReadAll(snap)
@@ -115,6 +134,7 @@ func (s *Session) Stop(set int) {
 		panic(fmt.Sprintf("bgpctr: Stop of set %d without Start", set))
 	}
 	delete(s.open, set)
+	s.markExternal()
 	s.nd.Cores[s.coreID].AdvanceCycles(StopOverhead)
 	var now [upc.NumCounters]uint64
 	s.nd.UPC.ReadAll(&now)
@@ -158,6 +178,7 @@ func (s *Session) Finalize(w io.Writer) error {
 		return fmt.Errorf("bgpctr: node %d has unterminated sets %v", s.nd.ID(), s.OpenSets())
 	}
 	s.finalized = true
+	s.markExternal()
 	s.nd.UPC.Stop()
 	return s.writeDump(w)
 }

@@ -71,6 +71,12 @@ func InstrumentRegions(j *mpi.Job, dir string, body func(*mpi.Rank, *Session)) (
 			// MPI_Init: the first rank on the node becomes its
 			// monitoring thread.
 			s = Initialize(r.Node(), r.CoreID(), DefaultMode(nodeID))
+			// Counter-library calls read UPC state the epoch memo's
+			// machine vector excludes; the hook tells the memo.
+			// Whole-application bracketing lands outside every epoch
+			// (before the first collective, after the last), where
+			// MarkExternal is free.
+			s.SetExternalHook(j.MarkExternal)
 			mu.Lock()
 			sessions[nodeID] = s
 			mu.Unlock()

@@ -1,0 +1,69 @@
+package epochmemo
+
+import "testing"
+
+func key(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+func TestGetPut(t *testing.T) {
+	c := New(0)
+	if v := c.Get(key(1)); v != nil {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key(1), "one", 8)
+	if v := c.Get(key(1)); v != "one" {
+		t.Fatalf("got %v, want one", v)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Stores != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestPutIdempotent(t *testing.T) {
+	c := New(0)
+	c.Put(key(1), "first", 8)
+	c.Put(key(1), "second", 8)
+	if v := c.Get(key(1)); v != "first" {
+		t.Fatalf("duplicate Put replaced entry: %v", v)
+	}
+	s := c.Stats()
+	if s.Stores != 1 || s.Dropped != 1 || s.Bytes != 8 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	c := New(30)
+	c.Put(key(1), 1, 10)
+	c.Put(key(2), 2, 10)
+	c.Put(key(3), 3, 10)
+	// Touch 1 so 2 is least recently used, then overflow.
+	c.Get(key(1))
+	c.Put(key(4), 4, 10)
+	if c.Get(key(2)) != nil {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if c.Get(key(1)) == nil || c.Get(key(3)) == nil || c.Get(key(4)) == nil {
+		t.Fatal("recently used entries evicted")
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Bytes != 30 || s.Entries != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestOversizedDropped(t *testing.T) {
+	c := New(10)
+	c.Put(key(1), 1, 5)
+	c.Put(key(2), 2, 100)
+	if c.Get(key(2)) != nil {
+		t.Fatal("oversized entry stored")
+	}
+	if c.Get(key(1)) == nil {
+		t.Fatal("oversized Put evicted resident entries")
+	}
+}

@@ -83,6 +83,12 @@ type Scale struct {
 	// NoProgCache disables cross-run compile memoization (see
 	// bgp.SweepConfig); figures are identical either way.
 	NoProgCache bool
+	// NoFastForward disables epoch fast-forwarding (see
+	// bgp.RunConfig.NoFastForward); figures are identical either way.
+	NoFastForward bool
+	// NoEpochMemo disables the epoch memo (see
+	// bgp.RunConfig.NoEpochMemo); figures are identical either way.
+	NoEpochMemo bool
 }
 
 // MissingSet accumulates the identity of every figure point that could not
@@ -187,6 +193,8 @@ func runAll(s Scale, cfgs []bgp.RunConfig) ([]*bgp.Result, error) {
 		ResumeOnly:      s.ResumeOnly,
 		EpochJobs:       s.EpochJobs,
 		NoProgCache:     s.NoProgCache,
+		NoFastForward:   s.NoFastForward,
+		NoEpochMemo:     s.NoEpochMemo,
 	})
 	if err != nil {
 		var se *sweep.SweepError

@@ -165,6 +165,18 @@ func (j *Job) completeEpoch(starts []uint64, clocks [][]uint64) error {
 			cs.maxClock = r.cr.Cycles
 		}
 	}
+	if m := j.memo; m != nil && m.atCut(cs) {
+		// The memo replays the coming epoch: the applied diff already
+		// carries the completion charges and every core's next-arrival
+		// clock, so all releases stay zero and the lazy WaitUntil in
+		// doCollective's parked path is a no-op.
+		for _, r := range j.ranks {
+			r.parked = false
+			r.parkedRelease = 0
+			r.makeReady()
+		}
+		return nil
+	}
 	last := j.replayLastArriver(starts, clocks)
 	// In the serial schedule the last arriver never blocks: its core is
 	// the one core still active while completion costs are charged.

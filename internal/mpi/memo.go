@@ -1,0 +1,592 @@
+package mpi
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"bgpsim/internal/core"
+	"bgpsim/internal/epochmemo"
+	"bgpsim/internal/isa"
+	"bgpsim/internal/statehash"
+)
+
+// This file is the epoch memo: SPMD rank memoization at collective
+// granularity. Every collective the whole job passes through is a "cut";
+// the stretch from one cut to the next — including the completion charges
+// of the opening collective — is an "epoch". At each cut the runtime
+// fingerprints everything the coming epoch can depend on and looks the
+// fingerprint up in a content-addressed cache (internal/epochmemo):
+//
+//   - the flattened simulated machine state of every node hosting ranks
+//     (caches, prefetchers, snoop filters, counters, DDR and network
+//     interface totals, and — crucially — every core's cycle clock), via
+//     the ReadState windows and a 128-bit statehash digest;
+//   - each rank's rolling operation history: a fold over every MPI call
+//     the rank has issued, including call results (Recv sizes), so equal
+//     histories mean the SPMD bodies are at identical control-flow points
+//     with identical futures;
+//   - the variable runtime state the flatten cannot see: pending mailbox
+//     contents, the address-draw RNG position and completion flag of every
+//     bound program, and each rank's allocation brk;
+//   - the job's configuration key (machine parameters, program identity,
+//     ISA version), supplied by the embedder via EnableEpochMemo.
+//
+// On a miss the epoch runs live while per-rank recorders capture its
+// observable effects: the sparse machine-state diff between the two cuts,
+// each rank's operation count, Recv results, post-execution RNG positions,
+// and final mailboxes. On a hit the recorded entry is replayed instead of
+// simulated: the diff is applied and written back to the machine
+// (pre-installing every core clock at its next-cut arrival time, which
+// turns all release waits into no-ops), mailboxes are installed wholesale,
+// and every rank is handed a skip budget — its next budget ops return
+// recorded results without touching simulated state. Exec skips still bind
+// programs through the normal path (so address-space layout evolves
+// identically) and advance each bound state's RNG to its recorded
+// position; at an epoch boundary a bound program is always either fully
+// executed or untouched, so that one word is the whole difference.
+//
+// Replay is exact by construction and guarded by tripwires: a rank issuing
+// an op beyond its budget, exhausting its budget before the closing
+// collective, or closing with a different collective than the entry
+// recorded panics rather than diverging silently.
+//
+// Mailboxes are installed wholesale rather than replayed send-by-send
+// because Recv with AnySource pops the earliest arrival across queue
+// heads: replaying sends out of their original interleaving would change
+// which message each Recv returns. Skipped Recvs therefore consume the
+// recorded result sequence, and nobody reads mailboxes mid-replay.
+//
+// The memo layers on both schedulers. Under the serial scheduler the cut
+// is the last arriver's completion frame in doCollective; under the epoch
+// scheduler it is the driver's completeEpoch. Entries carry the key of the
+// cut they end at, so consecutive hits chain without flattening or hashing
+// anything ("warm chains") — the steady state of a benchmark rerun is a
+// handful of map probes per epoch.
+//
+// Exclusions and safety: the UPC counter unit is not part of the state
+// vector — its registers change only at counter-library calls, which the
+// standard instrumentation issues strictly before the first cut and after
+// the last. A mid-run mutation (region-bracketing bodies) calls
+// Job.MarkExternal, which poisons the armed recording and disables the
+// memo for the rest of the run; a mutation during a replayed epoch is a
+// tripwire panic, since live counters would have been read mid-epoch.
+// Jobs with OnAdvance or OnSpan observers never enable the memo (skipped
+// epochs would emit neither samples nor spans), and a node with a UPC
+// threshold handler disables it at the next cut.
+
+type epochMemo struct {
+	j      *Job
+	cache  *epochmemo.Cache
+	cfgKey string
+
+	vec      []uint64 // scratch whole-machine state vector
+	preVec   []uint64 // recording base: flatten at the opening cut
+	vecValid bool     // vec mirrors the live machine state
+
+	recording bool
+	openKey   epochmemo.Key // key of the cut the recording opened at
+
+	haveChain bool
+	chainKey  epochmemo.Key // key of the current cut, inherited from a hit
+
+	replayed *epochEntry // entry whose epoch is being replayed, for the closing assertion
+
+	rs []memoRank
+
+	cutSeen  bool
+	disabled bool
+	poisoned atomic.Bool // external state mutation seen mid-run
+
+	hits, misses, stores uint64
+}
+
+// memoRank is the per-rank side of the memo: the rolling history fold, the
+// replay cursors, and the recording accumulators.
+type memoRank struct {
+	hist uint64
+
+	// Replay state: the rank's next skip ops return recorded results.
+	replaying bool
+	skip      int
+	recvSeq   []int
+	recvCur   int
+	rngSeq    []uint64
+	rngCur    int
+
+	// Recording accumulators for the epoch in flight.
+	recOps  int
+	recRecv []int
+	recRng  []uint64
+
+	// states lists every ExecState the rank has bound, in bind order; the
+	// key digests each one's RNG position and completion flag.
+	states []*core.ExecState
+}
+
+type epochEntry struct {
+	diffIdx []int32
+	diffVal []uint64
+
+	ranks []entryRank
+
+	closeOp    collOp
+	closeBytes int
+	closeRoot  int
+
+	nextKey epochmemo.Key
+	size    int64
+}
+
+type entryRank struct {
+	budget  int
+	recvSeq []int
+	rngSeq  []uint64
+	mailbox map[int][]message
+}
+
+// History fold tags, one per op kind. Results that feed back into body
+// control flow (Recv sizes) are folded too, so equal histories imply the
+// SPMD bodies compute identical futures.
+const (
+	histExec uint64 = 1 + iota
+	histCompute
+	histSend
+	histRecv
+	histColl
+)
+
+// foldWord mixes one word into a rolling history (a murmur3-style
+// finalizer step; collisions feed a 256-bit key, not an identity check).
+func foldWord(h, v uint64) uint64 {
+	h ^= v
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+func (rs *memoRank) fold(tag, a, b uint64) {
+	rs.hist = foldWord(foldWord(foldWord(rs.hist, tag), a), b)
+}
+
+// take consumes one skip-budget slot; running dry before the closing
+// collective means the body diverged from the recorded epoch.
+func (rs *memoRank) take(r *Rank, op string) {
+	if rs.skip == 0 {
+		panic(fmt.Sprintf("mpi: epoch memo divergence: rank %d issued %s beyond the replayed epoch's operations", r.id, op))
+	}
+	rs.skip--
+}
+
+func progTag(p *isa.Program) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a 64
+	for i := 0; i < len(p.Name); i++ {
+		h ^= uint64(p.Name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// EnableEpochMemo arms the epoch memo with a backing cache and the
+// configuration key identifying everything that shapes this job's
+// execution but lives outside the simulated machine state: machine
+// parameters, program identity and inputs, ISA version. Jobs sharing a
+// cfgKey and reaching identical cuts replay each other's epochs; the
+// cache's content addressing makes a too-coarse cfgKey cost correctness,
+// so embedders must fold in every configuration knob that can change
+// execution. A nil cache disables the memo. The memo engages at Run time
+// only if the job has no OnAdvance or OnSpan observer.
+func (j *Job) EnableEpochMemo(c *epochmemo.Cache, cfgKey string) {
+	j.memoCache = c
+	j.memoCfgKey = cfgKey
+}
+
+// SetFastForward enables or disables epoch fast-forwarding (default on):
+// when a rank is the only runnable rank of its scheduling domain, its
+// compute ops run to completion in one dispatch instead of bounded time
+// slices — exact by the batched-execution contract (core.Exec is
+// bit-identical at any limit) and by sole-runnability (the scheduler could
+// only have redispatched the same rank). Jobs with an OnAdvance observer
+// keep slicing regardless, preserving sample cadence, as does any node
+// with a UPC threshold handler.
+func (j *Job) SetFastForward(on bool) { j.noFF = !on }
+
+// MarkExternal tells the memo that state outside the simulated machine
+// vector (UPC counter registers, host-side observers) was mutated mid-run.
+// Before the first cut this is a no-op — recordings only open at cuts.
+// Later it poisons the in-flight recording and disables the memo for the
+// rest of the run. During a replayed epoch it panics: the mutation would
+// have observed mid-epoch live state that replay does not reconstruct.
+// Safe to call from rank bodies under either scheduler.
+func (j *Job) MarkExternal() {
+	m := j.memo
+	if m == nil {
+		return
+	}
+	if m.replayed != nil {
+		panic("mpi: epoch memo: external state mutation during a replayed epoch (region-bracketed counter sessions require -no-epochmemo)")
+	}
+	if !m.cutSeen {
+		return
+	}
+	m.poisoned.Store(true)
+}
+
+// PerfStats reports what the fast-forward and memo layers did during Run.
+type PerfStats struct {
+	// FFDispatches counts compute ops that ran to completion in one
+	// dispatch; FFCycles is the simulated cycles they covered.
+	FFDispatches, FFCycles uint64
+	// Epoch memo probe and store counts for this job only.
+	EpochMemoHits, EpochMemoMisses, EpochMemoStores uint64
+}
+
+// Perf returns this job's fast-forward and memo counters.
+func (j *Job) Perf() PerfStats {
+	var s PerfStats
+	for _, r := range j.ranks {
+		s.FFDispatches += r.ffDispatches
+		s.FFCycles += r.ffCycles
+	}
+	if m := j.memo; m != nil {
+		s.EpochMemoHits, s.EpochMemoMisses, s.EpochMemoStores = m.hits, m.misses, m.stores
+	}
+	return s
+}
+
+// initRunModes resolves the fast-forward and memo gates once per Run,
+// after all observers are installed.
+func (j *Job) initRunModes() {
+	j.ffOn = !j.noFF && j.onAdvance == nil
+	if j.memoCache == nil || j.onAdvance != nil || j.onSpan != nil {
+		return
+	}
+	m := &epochMemo{j: j, cache: j.memoCache, cfgKey: j.memoCfgKey}
+	total := 0
+	for _, id := range j.nodeIDs {
+		total += j.m.Nodes[id].StateLen()
+	}
+	m.vec = make([]uint64, total)
+	m.preVec = make([]uint64, total)
+	m.rs = make([]memoRank, len(j.ranks))
+	j.memo = m
+}
+
+func (m *epochMemo) flatten() {
+	i := 0
+	for _, id := range m.j.nodeIDs {
+		i += m.j.m.Nodes[id].ReadState(m.vec[i:])
+	}
+	m.vecValid = true
+}
+
+func (m *epochMemo) unflatten() {
+	i := 0
+	for _, id := range m.j.nodeIDs {
+		i += m.j.m.Nodes[id].WriteState(m.vec[i:])
+	}
+}
+
+// computeKey fingerprints the current cut: configuration, machine-state
+// digest of m.vec (which must be current), per-rank histories, and the
+// variable state the flatten cannot see.
+func (m *epochMemo) computeKey() epochmemo.Key {
+	j := m.j
+	h := sha256.New()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	io.WriteString(h, m.cfgKey)
+	w(uint64(len(j.ranks)))
+	d := statehash.Sum128(m.vec)
+	w(d.Lo)
+	w(d.Hi)
+	for i := range m.rs {
+		w(m.rs[i].hist)
+	}
+	var srcs []int
+	for i, r := range j.ranks {
+		w(r.brk)
+		srcs = srcs[:0]
+		for src, q := range r.mailbox {
+			if len(q) > 0 {
+				srcs = append(srcs, src)
+			}
+		}
+		sort.Ints(srcs)
+		w(uint64(len(srcs)))
+		for _, src := range srcs {
+			q := r.mailbox[src]
+			w(uint64(src))
+			w(uint64(len(q)))
+			for _, msg := range q {
+				w(uint64(msg.bytes))
+				w(msg.arrival)
+			}
+		}
+		sts := m.rs[i].states
+		w(uint64(len(sts)))
+		for _, st := range sts {
+			w(st.RngState())
+			if st.Done() {
+				w(1)
+			} else {
+				w(0)
+			}
+		}
+	}
+	var k epochmemo.Key
+	h.Sum(k[:0])
+	return k
+}
+
+// atCut is the memo's hook at every cut, called with the job's collState
+// under cut exclusivity (the serial last arriver's frame, or the epoch
+// driver between epochs). It closes an armed recording, probes the cache,
+// and either replays an entry (returning true — the caller must skip the
+// live completion and leave releases at zero) or arms a recording over the
+// coming epoch (returning false — the caller completes live).
+func (m *epochMemo) atCut(cs *collState) bool {
+	m.cutSeen = true
+	if !m.disabled && (m.poisoned.Load() || m.anyUPCHandler()) {
+		m.disabled = true
+	}
+	if m.disabled {
+		m.recording = false
+		m.haveChain = false
+		m.vecValid = false
+		m.replayed = nil
+		return false
+	}
+
+	var key epochmemo.Key
+	switch {
+	case m.recording:
+		key = m.closeRecording(cs)
+	case m.haveChain:
+		key = m.chainKey
+		m.haveChain = false
+	default:
+		if !m.vecValid {
+			m.flatten()
+		}
+		key = m.computeKey()
+	}
+
+	if ent := m.replayed; ent != nil {
+		if cs.op != ent.closeOp || cs.bytes != ent.closeBytes || cs.root != ent.closeRoot {
+			panic(fmt.Sprintf("mpi: epoch memo divergence: replayed epoch closed with %v(bytes=%d, root=%d), job reached %v(bytes=%d, root=%d)",
+				ent.closeOp, ent.closeBytes, ent.closeRoot, cs.op, cs.bytes, cs.root))
+		}
+		m.replayed = nil
+	}
+
+	if v := m.cache.Get(key); v != nil {
+		ent := v.(*epochEntry)
+		m.hits++
+		m.apply(ent)
+		m.chainKey, m.haveChain = ent.nextKey, true
+		m.replayed = ent
+		return true
+	}
+	m.misses++
+	m.openRecording(key)
+	return false
+}
+
+func (m *epochMemo) anyUPCHandler() bool {
+	for _, id := range m.j.nodeIDs {
+		if m.j.m.Nodes[id].UPC.HasHandler() {
+			return true
+		}
+	}
+	return false
+}
+
+// openRecording arms the per-rank recorders over the coming epoch, with
+// the current (pre-completion) machine vector as the diff base.
+func (m *epochMemo) openRecording(key epochmemo.Key) {
+	m.openKey = key
+	m.recording = true
+	copy(m.preVec, m.vec)
+	m.vecValid = false // the live epoch mutates the machine
+	for i := range m.rs {
+		rs := &m.rs[i]
+		rs.recOps = 0
+		rs.recRecv = rs.recRecv[:0]
+		rs.recRng = rs.recRng[:0]
+	}
+}
+
+// closeRecording flattens the machine at the closing cut, stores the
+// epoch's entry under the opening cut's key, and returns the closing cut's
+// key (which the entry carries as nextKey, so later replays chain without
+// rehashing).
+func (m *epochMemo) closeRecording(cs *collState) epochmemo.Key {
+	j := m.j
+	m.recording = false
+	m.flatten()
+	key := m.computeKey()
+
+	ent := &epochEntry{
+		closeOp:    cs.op,
+		closeBytes: cs.bytes,
+		closeRoot:  cs.root,
+		nextKey:    key,
+	}
+	for i, w := range m.vec {
+		if w != m.preVec[i] {
+			ent.diffIdx = append(ent.diffIdx, int32(i))
+			ent.diffVal = append(ent.diffVal, w)
+		}
+	}
+	ent.ranks = make([]entryRank, len(j.ranks))
+	size := int64(len(ent.diffIdx)) * 12
+	for i, r := range j.ranks {
+		rs := &m.rs[i]
+		er := &ent.ranks[i]
+		er.budget = rs.recOps
+		er.recvSeq = append([]int(nil), rs.recRecv...)
+		er.rngSeq = append([]uint64(nil), rs.recRng...)
+		er.mailbox = make(map[int][]message, len(r.mailbox))
+		for src, q := range r.mailbox {
+			if len(q) > 0 {
+				er.mailbox[src] = append([]message(nil), q...)
+				size += int64(len(q)) * 24
+			}
+		}
+		size += int64(len(er.recvSeq))*8 + int64(len(er.rngSeq))*8 + 64
+	}
+	ent.size = size + 256
+	if m.cache.Put(m.openKey, ent, ent.size) {
+		m.stores++
+	}
+	return key
+}
+
+// apply replays an entry: the machine jumps to the closing cut's state
+// (completion charges of the opening collective included), mailboxes are
+// installed wholesale, and every rank is armed to skip its recorded ops.
+func (m *epochMemo) apply(ent *epochEntry) {
+	for i, idx := range ent.diffIdx {
+		m.vec[idx] = ent.diffVal[i]
+	}
+	m.unflatten()
+	for i, r := range m.j.ranks {
+		er := &ent.ranks[i]
+		clear(r.mailbox)
+		for src, q := range er.mailbox {
+			r.mailbox[src] = append([]message(nil), q...)
+		}
+		rs := &m.rs[i]
+		rs.replaying = true
+		rs.skip = er.budget
+		rs.recvSeq, rs.recvCur = er.recvSeq, 0
+		rs.rngSeq, rs.rngCur = er.rngSeq, 0
+	}
+}
+
+// nextRng returns the next recorded post-execution RNG position during a
+// skipped Exec.
+func (rs *memoRank) nextRng(r *Rank) uint64 {
+	if rs.rngCur >= len(rs.rngSeq) {
+		panic(fmt.Sprintf("mpi: epoch memo divergence: rank %d executed more programs than the replayed epoch recorded", r.id))
+	}
+	v := rs.rngSeq[rs.rngCur]
+	rs.rngCur++
+	return v
+}
+
+// collArrive folds a collective into the rank's history and closes its
+// replay window: a replayed epoch must arrive at its closing collective
+// with the skip budget and result cursors exactly exhausted.
+func (r *Rank) collArrive(op collOp, bytes, root int) {
+	m := r.job.memo
+	if m == nil {
+		return
+	}
+	rs := &m.rs[r.id]
+	rs.fold(histColl, uint64(op), uint64(bytes)<<16|uint64(uint32(root)))
+	if !rs.replaying {
+		return
+	}
+	if rs.skip != 0 || rs.recvCur != len(rs.recvSeq) || rs.rngCur != len(rs.rngSeq) {
+		panic(fmt.Sprintf("mpi: epoch memo divergence: rank %d reached %v with %d ops, %d recvs, %d execs of the replayed epoch unconsumed",
+			r.id, op, rs.skip, len(rs.recvSeq)-rs.recvCur, len(rs.rngSeq)-rs.rngCur))
+	}
+	rs.replaying = false
+}
+
+// skipExec replays one Exec: the program is bound through the normal path
+// (allocation layout and RNG seeding evolve exactly as live) and each
+// bound state jumps to its recorded completion, with no simulated work.
+func (r *Rank) skipExec(p *isa.Program) {
+	rs := &r.job.memo.rs[r.id]
+	if threads := r.job.m.Mode().ThreadsPerRank(); threads > 1 {
+		states, ok := r.shards[p]
+		if !ok {
+			states = make([]*core.ExecState, threads)
+			for t := 0; t < threads; t++ {
+				states[t] = r.bindShard(p, t, threads)
+			}
+			r.shards[p] = states
+		}
+		for _, st := range states {
+			st.SkipToEnd(rs.nextRng(r))
+		}
+		return
+	}
+	st, ok := r.bound[p]
+	if !ok {
+		st = r.bindShard(p, 0, 1)
+		r.bound[p] = st
+	}
+	st.SkipToEnd(rs.nextRng(r))
+}
+
+// recordExec captures the post-execution RNG position of every state the
+// Exec drove, in shard order.
+func (r *Rank) recordExec(p *isa.Program) {
+	rs := &r.job.memo.rs[r.id]
+	rs.recOps++
+	if states, ok := r.shards[p]; ok {
+		for _, st := range states {
+			rs.recRng = append(rs.recRng, st.RngState())
+		}
+		return
+	}
+	rs.recRng = append(rs.recRng, r.bound[p].RngState())
+}
+
+// fastForwardable reports whether the rank may run a compute op to
+// completion in one dispatch: fast-forward is on, nothing samples dispatch
+// cadence, and the rank is the only runnable rank of its scheduling domain
+// (the whole job under the serial scheduler, its node group under the
+// epoch scheduler), so the scheduler could only redispatch it anyway.
+func (r *Rank) fastForwardable() bool {
+	j := r.job
+	if !j.ffOn || r.nd.UPC.HasHandler() {
+		return false
+	}
+	if j.epochActive {
+		for _, o := range j.ranks {
+			if o != r && o.nodeID == r.nodeID && o.status == statusReady {
+				return false
+			}
+		}
+		return true
+	}
+	for _, o := range j.ranks {
+		if o != r && o.status == statusReady {
+			return false
+		}
+	}
+	return true
+}

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"bgpsim/internal/core"
+	"bgpsim/internal/epochmemo"
 	"bgpsim/internal/isa"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/node"
@@ -82,6 +83,16 @@ type Job struct {
 	epochJobs   int
 	epochActive bool
 
+	// Fast-forward and epoch-memo state (see memo.go). noFF is the
+	// SetFastForward opt-out; ffOn is the resolved gate, fixed at Run.
+	// memo is non-nil only when the memo engaged (EnableEpochMemo called
+	// and no observer hooks installed), and is read-only during epochs.
+	noFF       bool
+	ffOn       bool
+	memoCache  *epochmemo.Cache
+	memoCfgKey string
+	memo       *epochMemo
+
 	onAdvance func(clock uint64)
 	onSpan    func(cat, name string, node, rank int, start, end uint64)
 }
@@ -121,6 +132,11 @@ type Rank struct {
 	shards    map[*isa.Program][]*core.ExecState
 	groupBase map[string]uint64
 	groupSize map[string]uint64
+
+	// Fast-forward counters; per-rank so concurrent node executors under
+	// the epoch scheduler never share a cache line, summed by Job.Perf.
+	ffDispatches uint64
+	ffCycles     uint64
 }
 
 // NewJob prepares a launch of nranks processes on the partition. The rank
@@ -238,6 +254,7 @@ func (j *Job) Run(body func(*Rank)) error {
 	if j.aborted {
 		return fmt.Errorf("mpi: job already run")
 	}
+	j.initRunModes()
 	if j.epochJobs > 1 && j.onAdvance == nil && j.onSpan == nil && len(j.nodeIDs) > 1 {
 		return j.runEpochs(body)
 	}

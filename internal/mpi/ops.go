@@ -24,8 +24,20 @@ const ForkJoinOverhead = 800
 // the master — the hybrid MPI+OpenMP execution the paper lists as future
 // work (§IX).
 func (r *Rank) Exec(p *isa.Program) {
+	if m := r.job.memo; m != nil {
+		rs := &m.rs[r.id]
+		rs.fold(histExec, progTag(p), 0)
+		if rs.replaying {
+			rs.take(r, "Exec")
+			r.skipExec(p)
+			return
+		}
+	}
 	start := r.cr.Cycles
 	r.exec(p)
+	if m := r.job.memo; m != nil && m.recording {
+		r.recordExec(p)
+	}
 	if r.job.onSpan != nil {
 		r.job.onSpan("kernel", p.Name, r.nodeID, r.id, start, r.cr.Cycles)
 	}
@@ -44,7 +56,25 @@ func (r *Rank) exec(p *isa.Program) {
 	} else if st.Done() {
 		st.Rewind()
 	}
-	for !r.cr.Exec(st, r.cr.Cycles+r.job.slice) {
+	for {
+		if r.fastForwardable() {
+			// Sole runnable rank of its scheduling domain — the usual
+			// straggler tail of an epoch, with every peer blocked at the
+			// next synchronization point. No other rank can touch shared
+			// state or become runnable until this one blocks, so slicing
+			// could only redispatch the same rank; one unbounded Exec lets
+			// the closed-form and coalesced kernels take the remaining
+			// trip space in single analytic steps instead of slice-sized
+			// bites — bit-identical by the batched-execution contract.
+			before := r.cr.Cycles
+			r.cr.Exec(st, 0)
+			r.ffDispatches++
+			r.ffCycles += r.cr.Cycles - before
+			return
+		}
+		if r.cr.Exec(st, r.cr.Cycles+r.job.slice) {
+			return
+		}
 		r.yield()
 	}
 }
@@ -66,6 +96,12 @@ func (r *Rank) bindShard(p *isa.Program, shard, nshards int) *core.ExecState {
 	st, err := core.BindShard(p, base, uint64(r.id)*0x9e37+1, shard, nshards)
 	if err != nil {
 		panic(fmt.Sprintf("mpi: rank %d: %v", r.id, err))
+	}
+	if m := r.job.memo; m != nil {
+		// The memo keys on every bound state's RNG position, in bind
+		// order; skipped Execs bind through this same path, so the order
+		// is identical live and replayed.
+		m.rs[r.id].states = append(m.rs[r.id].states, st)
 	}
 	return st
 }
@@ -131,7 +167,25 @@ func (r *Rank) execThreaded(p *isa.Program, threads int) {
 // Compute charges raw cycles of work not expressed as an op stream (system
 // services, imbalance perturbation).
 func (r *Rank) Compute(cycles uint64) {
+	if m := r.job.memo; m != nil {
+		rs := &m.rs[r.id]
+		rs.fold(histCompute, cycles, 0)
+		if rs.replaying {
+			rs.take(r, "Compute")
+			return
+		}
+		if m.recording {
+			rs.recOps++
+		}
+	}
 	for cycles > 0 {
+		if r.fastForwardable() {
+			r.ffDispatches++
+			r.ffCycles += cycles
+			r.cr.AdvanceCycles(cycles)
+			r.yield()
+			return
+		}
 		step := cycles
 		if step > r.job.slice {
 			step = r.job.slice
@@ -146,6 +200,20 @@ func (r *Rank) Compute(cycles uint64) {
 // software and injection cost and continues; delivery time is carried on
 // the message.
 func (r *Rank) Send(dst, bytes int) {
+	if m := r.job.memo; m != nil {
+		rs := &m.rs[r.id]
+		rs.fold(histSend, uint64(dst), uint64(bytes))
+		if rs.replaying {
+			// The send's effects (clock advance, DMA and cache traffic,
+			// the posted message) are all part of the replayed epoch's
+			// machine diff and final mailboxes.
+			rs.take(r, "Send")
+			return
+		}
+		if m.recording {
+			rs.recOps++
+		}
+	}
 	if dst < 0 || dst >= len(r.job.ranks) {
 		panic(fmt.Sprintf("mpi: rank %d sends to invalid rank %d", r.id, dst))
 	}
@@ -188,7 +256,36 @@ func (r *Rank) Send(dst, bytes int) {
 
 // Recv blocks until a message from src (or from anyone, with AnySource) is
 // available, advances the clock to its arrival, and returns its size.
+// The returned size is folded into the rank's memo history: it can steer
+// the body's control flow, so equal histories must imply equal futures.
 func (r *Rank) Recv(src int) int {
+	m := r.job.memo
+	if m != nil {
+		rs := &m.rs[r.id]
+		if rs.replaying {
+			rs.take(r, "Recv")
+			if rs.recvCur >= len(rs.recvSeq) {
+				panic(fmt.Sprintf("mpi: epoch memo divergence: rank %d received more messages than the replayed epoch recorded", r.id))
+			}
+			bytes := rs.recvSeq[rs.recvCur]
+			rs.recvCur++
+			rs.fold(histRecv, uint64(uint32(src+1)), uint64(bytes))
+			return bytes
+		}
+	}
+	bytes := r.recvLive(src)
+	if m != nil {
+		rs := &m.rs[r.id]
+		rs.fold(histRecv, uint64(uint32(src+1)), uint64(bytes))
+		if m.recording {
+			rs.recOps++
+			rs.recRecv = append(rs.recRecv, bytes)
+		}
+	}
+	return bytes
+}
+
+func (r *Rank) recvLive(src int) int {
 	if src != AnySource && (src < 0 || src >= len(r.job.ranks)) {
 		panic(fmt.Sprintf("mpi: rank %d receives from invalid rank %d", r.id, src))
 	}
@@ -293,6 +390,7 @@ func (r *Rank) Allreduce(bytes int) { r.collective(opAllreduce, bytes, 0) }
 func (r *Rank) Alltoall(bytesPerRank int) { r.collective(opAlltoall, bytesPerRank, 0) }
 
 func (r *Rank) collective(op collOp, bytes, root int) {
+	r.collArrive(op, bytes, root)
 	start := r.cr.Cycles
 	r.doCollective(op, bytes, root)
 	if r.job.onSpan != nil {
@@ -338,9 +436,15 @@ func (r *Rank) doCollective(op collOp, bytes, root int) {
 		r.cr.WaitUntil(cs.releases[r.id])
 		return
 	}
-	// Last arriver completes the operation for everyone.
+	// Last arriver completes the operation for everyone — unless the memo
+	// replays the coming epoch, in which case the completion charges are
+	// already inside the applied state diff and every release stays zero
+	// (the diff pre-installed each core's clock at its next-cut arrival,
+	// so the WaitUntils below are no-ops).
 	j.coll = nil
-	r.completeCollective(cs)
+	if m := j.memo; m == nil || !m.atCut(cs) {
+		r.completeCollective(cs)
+	}
 	for _, w := range cs.waiters {
 		w.makeReady()
 	}

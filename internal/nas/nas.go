@@ -100,6 +100,11 @@ type Config struct {
 	// looked up by content fingerprint and shared (immutably) across
 	// builds instead of re-lowered. A nil Cache compiles directly.
 	Cache *progcache.Cache
+	// OnCompile, when non-nil, observes the build's single compile-cache
+	// lookup: cacheHit is true when the phase map came from Cache, false
+	// when this build compiled it (always false with a nil Cache). It is
+	// called once per successful Build.
+	OnCompile func(cacheHit bool)
 }
 
 // App is a built benchmark ready to run: hand App.Body to mpi.Job.Run with
@@ -249,7 +254,15 @@ func compilePhases(k *compiler.Kernel, cfg Config) (map[string]*isa.Program, err
 		return out, nil
 	}
 	if cfg.Cache == nil {
-		return build()
+		out, err := build()
+		if err == nil && cfg.OnCompile != nil {
+			cfg.OnCompile(false)
+		}
+		return out, err
 	}
-	return cfg.Cache.GetOrCompile(progcache.Key(k, cfg.Opts), build)
+	out, hit, err := cfg.Cache.GetOrCompileHit(progcache.Key(k, cfg.Opts), build)
+	if err == nil && cfg.OnCompile != nil {
+		cfg.OnCompile(hit)
+	}
+	return out, err
 }

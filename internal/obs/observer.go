@@ -73,6 +73,19 @@ type RunStats struct {
 	L3PrefetchIssued uint64
 	// DDR line totals across every node's controllers.
 	DDRReadLines, DDRWriteLines uint64
+
+	// FFDispatches counts compute operations the run's fast-forward layer
+	// ran to completion in one dispatch; FFCycles is the simulated cycles
+	// those dispatches covered (see internal/mpi).
+	FFDispatches, FFCycles uint64
+	// Epoch-memo probe and store counts for the run: cuts that replayed a
+	// cached epoch, cuts that simulated live, and epochs recorded into the
+	// shared cache.
+	EpochMemoHits, EpochMemoMisses, EpochMemoStores uint64
+	// ProgCacheHits/ProgCacheMisses record the run's single compile-cache
+	// lookup (1/0 on a hit, 0/1 on a compile; both zero when the cache is
+	// disabled).
+	ProgCacheHits, ProgCacheMisses uint64
 }
 
 // Observer receives a run's observability events. Implementations must be
@@ -116,6 +129,16 @@ const (
 	// sweep.panic, sweep.run_failed, sweep.run_skipped,
 	// sweep.checkpoint_persist, sweep.checkpoint_restore.
 	MetricSweepPrefix = "sweep."
+	// MetricFFPrefix prefixes epoch fast-forward counters:
+	// sim.ff.dispatches (compute ops run to completion in one dispatch)
+	// and sim.ff.cycles (simulated cycles those dispatches covered).
+	MetricFFPrefix = "sim.ff."
+	// MetricEpochMemoPrefix prefixes epoch-memo counters:
+	// sim.epochmemo.hits, sim.epochmemo.misses, sim.epochmemo.stores.
+	MetricEpochMemoPrefix = "sim.epochmemo."
+	// MetricProgCachePrefix prefixes compile-cache counters:
+	// sim.progcache.hit, sim.progcache.miss.
+	MetricProgCachePrefix = "sim.progcache."
 )
 
 // Recorder is the standard Observer: it feeds a Registry and, when one is
@@ -140,6 +163,10 @@ type Recorder struct {
 	l3Hits, l3Misses, l3Writebacks   *Counter
 	l3pfIssued                       *Counter
 	ddrReadLines, ddrWriteLines      *Counter
+
+	ffDispatches, ffCycles                          *Counter
+	epochMemoHits, epochMemoMisses, epochMemoStores *Counter
+	progCacheHit, progCacheMiss                     *Counter
 }
 
 // NewRecorder returns a recorder over reg, tracing to tracer when non-nil.
@@ -172,6 +199,14 @@ func NewRecorder(reg *Registry, tracer *Tracer) *Recorder {
 		l3pfIssued:    reg.Counter("cache.l3pf.issued"),
 		ddrReadLines:  reg.Counter("ddr.read_lines"),
 		ddrWriteLines: reg.Counter("ddr.write_lines"),
+
+		ffDispatches:    reg.Counter(MetricFFPrefix + "dispatches"),
+		ffCycles:        reg.Counter(MetricFFPrefix + "cycles"),
+		epochMemoHits:   reg.Counter(MetricEpochMemoPrefix + "hits"),
+		epochMemoMisses: reg.Counter(MetricEpochMemoPrefix + "misses"),
+		epochMemoStores: reg.Counter(MetricEpochMemoPrefix + "stores"),
+		progCacheHit:    reg.Counter(MetricProgCachePrefix + "hit"),
+		progCacheMiss:   reg.Counter(MetricProgCachePrefix + "miss"),
 	}
 	for _, ph := range Phases() {
 		r.phaseNS[ph] = reg.Counter(MetricPhaseNSPrefix + string(ph))
@@ -188,6 +223,12 @@ func (r *Recorder) Registry() *Registry { return r.reg }
 
 // Tracer returns the attached tracer (nil when not tracing).
 func (r *Recorder) Tracer() *Tracer { return r.tracer }
+
+// Tracing reports whether the recorder consumes simulated-clock spans (a
+// tracer is attached). bgp.Run consults it before installing per-span
+// hooks: a metrics-only recorder then leaves the job unhooked, keeping the
+// epoch scheduler, fast-forward and epoch-memo layers eligible.
+func (r *Recorder) Tracing() bool { return r.tracer != nil }
 
 // PhaseDone implements Observer.
 func (r *Recorder) PhaseDone(label string, phase Phase, wall time.Duration) {
@@ -220,6 +261,13 @@ func (r *Recorder) RunDone(st RunStats) {
 	r.l3pfIssued.Add(st.L3PrefetchIssued)
 	r.ddrReadLines.Add(st.DDRReadLines)
 	r.ddrWriteLines.Add(st.DDRWriteLines)
+	r.ffDispatches.Add(st.FFDispatches)
+	r.ffCycles.Add(st.FFCycles)
+	r.epochMemoHits.Add(st.EpochMemoHits)
+	r.epochMemoMisses.Add(st.EpochMemoMisses)
+	r.epochMemoStores.Add(st.EpochMemoStores)
+	r.progCacheHit.Add(st.ProgCacheHits)
+	r.progCacheMiss.Add(st.ProgCacheMisses)
 }
 
 // SweepEvent implements Observer.

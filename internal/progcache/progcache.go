@@ -107,13 +107,22 @@ func Default() *Cache {
 // gets its error, and the next lookup retries. The returned map and its
 // programs are shared — callers must treat them as immutable.
 func (c *Cache) GetOrCompile(key string, build func() (map[string]*isa.Program, error)) (map[string]*isa.Program, error) {
+	progs, _, err := c.GetOrCompileHit(key, build)
+	return progs, err
+}
+
+// GetOrCompileHit is GetOrCompile reporting whether the lookup was served
+// from the cache (including waiting on a concurrent build of the same key)
+// rather than compiled by this caller. Observability layers use the flag to
+// attribute per-run sim.progcache.hit/miss counters.
+func (c *Cache) GetOrCompileHit(key string, build func() (map[string]*isa.Program, error)) (map[string]*isa.Program, bool, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.order.MoveToFront(e.elem)
 		c.stats.Hits++
 		c.mu.Unlock()
 		<-e.ready
-		return e.progs, e.err
+		return e.progs, true, e.err
 	}
 	e := &entry{key: key, ready: make(chan struct{})}
 	e.elem = c.order.PushFront(e)
@@ -135,7 +144,7 @@ func (c *Cache) GetOrCompile(key string, build func() (map[string]*isa.Program, 
 	}
 	c.mu.Unlock()
 	close(e.ready)
-	return progs, err
+	return progs, false, err
 }
 
 // evictLocked enforces the capacity bound, preferring the least recently

@@ -62,3 +62,11 @@ func (s *Source) Intn(n int) int {
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
 }
+
+// State returns the generator's internal state word. Together with
+// SetState it lets checkpointing layers (the epoch memo) capture and
+// replay a stream's exact position without replaying its draws.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState restores a state word previously read with State.
+func (s *Source) SetState(v uint64) { s.state = v }

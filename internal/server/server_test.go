@@ -326,4 +326,18 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Errorf("metric %s = 0 after a completed job", name)
 		}
 	}
+	// The execution-accelerator counters are registered on the daemon's
+	// recorder, so they surface here alongside the server.cache.* family.
+	for _, name := range []string{
+		"sim.ff.dispatches", "sim.ff.cycles",
+		"sim.epochmemo.hits", "sim.epochmemo.misses", "sim.epochmemo.stores",
+		"sim.progcache.hit", "sim.progcache.miss",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("metric %s missing from /metrics", name)
+		}
+	}
+	if snap.Counters["sim.progcache.hit"]+snap.Counters["sim.progcache.miss"] == 0 {
+		t.Error("sim.progcache recorded neither a hit nor a miss after a completed run")
+	}
 }

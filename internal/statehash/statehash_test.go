@@ -1,0 +1,68 @@
+package statehash
+
+import "testing"
+
+// TestWordsMatchesWord pins the batching contract: Words must produce
+// exactly the digest of the equivalent Word-at-a-time stream, at every
+// alignment and split.
+func TestWordsMatchesWord(t *testing.T) {
+	stream := make([]uint64, 257)
+	for i := range stream {
+		stream[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	for split := 0; split <= len(stream); split++ {
+		a := New()
+		for _, w := range stream {
+			a.Word(w)
+		}
+		b := New()
+		b.Words(stream[:split])
+		b.Words(stream[split:])
+		if a.Sum() != b.Sum() {
+			t.Fatalf("split %d: Words digest diverges from Word digest", split)
+		}
+	}
+}
+
+// TestSensitivity checks that single-word and length perturbations change
+// the digest.
+func TestSensitivity(t *testing.T) {
+	base := make([]uint64, 64)
+	ref := Sum128(base)
+	if ref == (Digest{}) {
+		t.Fatal("zero digest for zero stream")
+	}
+	for i := range base {
+		mut := append([]uint64(nil), base...)
+		mut[i] = 1
+		if Sum128(mut) == ref {
+			t.Fatalf("flipping word %d did not change digest", i)
+		}
+	}
+	if Sum128(base[:63]) == ref {
+		t.Fatal("length change did not change digest")
+	}
+	if Sum128(append(append([]uint64(nil), base...), 0)) == ref {
+		t.Fatal("trailing zero did not change digest")
+	}
+}
+
+// TestResetAndIncremental pins Reset and the Sum-is-non-consuming
+// contract.
+func TestResetAndIncremental(t *testing.T) {
+	h := New()
+	h.Words([]uint64{1, 2, 3})
+	mid := h.Sum()
+	if again := h.Sum(); again != mid {
+		t.Fatal("Sum consumed state")
+	}
+	h.Word(4)
+	if h.Sum() == mid {
+		t.Fatal("Word after Sum had no effect")
+	}
+	h.Reset()
+	h.Words([]uint64{1, 2, 3})
+	if h.Sum() != mid {
+		t.Fatal("Reset did not restore the initial state")
+	}
+}

@@ -233,3 +233,9 @@ func (u *Unit) sample(i int) uint64 {
 	}
 	return 0
 }
+
+// HasHandler reports whether a threshold-interrupt handler is installed.
+// The epoch memo and fast-forward paths disable themselves on nodes with a
+// live handler: both change how often Poll runs, which is observable only
+// through handler invocations.
+func (u *Unit) HasHandler() bool { return u.handler != nil }

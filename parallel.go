@@ -104,6 +104,14 @@ type SweepConfig struct {
 	// intra-run epoch parallelism for collectives-only benchmarks. Like
 	// the cache, it never affects results or checkpoint identity.
 	EpochJobs int
+	// NoFastForward disables epoch fast-forwarding for every run of the
+	// sweep (see RunConfig.NoFastForward). Never affects results or
+	// checkpoint identity.
+	NoFastForward bool
+	// NoEpochMemo disables the epoch memo for every run of the sweep
+	// (see RunConfig.NoEpochMemo). Never affects results or checkpoint
+	// identity.
+	NoEpochMemo bool
 }
 
 // RunAll executes independent runs concurrently on a bounded worker pool
@@ -181,6 +189,12 @@ func RunAll(ctx context.Context, cfgs []RunConfig, sc SweepConfig) ([]*Result, e
 		}
 		if cfg.EpochJobs == 0 {
 			cfg.EpochJobs = sc.EpochJobs
+		}
+		if sc.NoFastForward {
+			cfg.NoFastForward = true
+		}
+		if sc.NoEpochMemo {
+			cfg.NoEpochMemo = true
 		}
 		if ckpt != nil && (sc.Resume || sc.ResumeOnly) {
 			if res := ckpt.restore(key, cfg); res != nil {

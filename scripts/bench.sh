@@ -6,11 +6,18 @@
 # where the benchmark reports it) for the batched execution engine, then
 # re-runs the figure-6 profile with BGP_ENGINE=interpreter to measure the
 # reference per-trip interpreter on the same tree, and derives the engine
-# speedup. The figure-6 profile also runs with a metrics recorder attached
+# speedup. The interpreter run (and the engine ratio's denominator) also
+# disables fast-forwarding and the epoch memo: those layers sit above the
+# engines and would otherwise replay the epochs both engines are being
+# timed on. The figure-6 profile also runs with a metrics recorder attached
 # (BenchmarkFig06InstructionProfileObserved) and with the compile cache
 # disabled (BenchmarkFig06InstructionProfileCold); the ns/op ratios are
 # recorded as fig06_observer_over_nil (budget <1.02) and
 # fig06_memoized_over_cold (the cross-run memoization payoff, <=1).
+# A further figure-6 run with BGP_NO_FASTFORWARD=1 BGP_NO_EPOCHMEMO=1
+# measures the slow path (no epoch fast-forwarding, no epoch memo); the
+# ratio slow/default is recorded as fig06_fastforward_over_batched —
+# the acceleration payoff, >=1.
 # COUNT (default 3) controls benchmark repetitions; the minimum ns/op
 # across repetitions is kept, which is the usual robust estimator on
 # shared/virtualized hosts.
@@ -45,9 +52,9 @@ REGRESS_PCT="${REGRESS_PCT:-10}"
 MIN_GATE_NS="${MIN_GATE_NS:-1000000}"
 BENCHES='BenchmarkFig06InstructionProfile$|BenchmarkFig06InstructionProfileObserved$|BenchmarkFig06InstructionProfileCold$|BenchmarkFig11L3Sweep$|BenchmarkCacheAccess$'
 
-run_bench() { # env-prefix regex -> "name ns_op extra_metric" lines
-    local engine="$1" regex="$2"
-    BGP_ENGINE="$engine" go test -run '^$' -bench "$regex" \
+run_bench() { # "VAR=val ..." regex -> "name ns_op extra_metric" lines
+    local envs="$1" regex="$2"
+    env $envs go test -run '^$' -bench "$regex" \
         -benchtime "$BENCHTIME" -count "$COUNT" ./... 2>/dev/null |
         awk '/^Benchmark/ {
             name=$1; sub(/-[0-9]+$/, "", name)
@@ -62,7 +69,9 @@ run_bench() { # env-prefix regex -> "name ns_op extra_metric" lines
 echo "benchmarking batched engine ($COUNT x $BENCHTIME)..." >&2
 BATCHED="$(run_bench "" "$BENCHES")"
 echo "benchmarking reference interpreter (figure 6 only)..." >&2
-INTERP="$(run_bench interpreter 'BenchmarkFig06InstructionProfile$')"
+INTERP="$(run_bench "BGP_ENGINE=interpreter BGP_NO_FASTFORWARD=1 BGP_NO_EPOCHMEMO=1" 'BenchmarkFig06InstructionProfile$')"
+echo "benchmarking slow path, no fast-forward / epoch memo (figure 6 only)..." >&2
+SLOW="$(run_bench "BGP_NO_FASTFORWARD=1 BGP_NO_EPOCHMEMO=1" 'BenchmarkFig06InstructionProfile$')"
 
 python3 - "$OUT" <<EOF
 import json, sys
@@ -81,15 +90,16 @@ def parse(raw):
 
 batched = parse("""$BATCHED""")
 interp = parse("""$INTERP""")
+slow = parse("""$SLOW""")
 
 doc = {
     "schema": "bgpsim-bench-core/1",
-    "engine": {"batched": batched, "interpreter": interp},
+    "engine": {"batched": batched, "interpreter": interp, "slowpath": slow},
 }
 fig6 = "BenchmarkFig06InstructionProfile"
-if fig6 in batched and fig6 in interp:
+if fig6 in slow and fig6 in interp:
     doc["fig06_interpreter_over_batched"] = round(
-        interp[fig6]["ns_per_op"] / batched[fig6]["ns_per_op"], 3)
+        interp[fig6]["ns_per_op"] / slow[fig6]["ns_per_op"], 3)
 observed = fig6 + "Observed"
 if fig6 in batched and observed in batched:
     doc["fig06_observer_over_nil"] = round(
@@ -98,6 +108,9 @@ cold = fig6 + "Cold"
 if fig6 in batched and cold in batched:
     doc["fig06_memoized_over_cold"] = round(
         batched[fig6]["ns_per_op"] / batched[cold]["ns_per_op"], 3)
+if fig6 in batched and fig6 in slow:
+    doc["fig06_fastforward_over_batched"] = round(
+        slow[fig6]["ns_per_op"] / batched[fig6]["ns_per_op"], 3)
 
 with open(sys.argv[1], "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
