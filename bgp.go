@@ -214,6 +214,14 @@ type RunConfig struct {
 	// benchmarking, and bodies that read counters mid-run. Excluded from
 	// checkpoint fingerprints.
 	NoEpochMemo bool
+	// EpochMemoBytes re-bounds the process-wide epoch memo's LRU byte
+	// budget before the run: > 0 sets the budget, < 0 makes the cache
+	// unbounded, 0 keeps the current bound (epochmemo.DefaultBudget,
+	// 256 MiB, unless something already changed it). Resizing only evicts
+	// — evicted epochs re-simulate — so like the other accelerator knobs
+	// it never affects results and is excluded from checkpoint
+	// fingerprints.
+	EpochMemoBytes int64
 }
 
 // Result is a completed instrumented run.
@@ -309,6 +317,12 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 	j.SetFastForward(!cfg.NoFastForward)
 	if !cfg.NoEpochMemo {
+		switch {
+		case cfg.EpochMemoBytes > 0:
+			epochmemo.Default().SetBudget(cfg.EpochMemoBytes)
+		case cfg.EpochMemoBytes < 0:
+			epochmemo.Default().SetBudget(0)
+		}
 		j.EnableEpochMemo(epochmemo.Default(), memoConfigKey(cfg))
 	}
 	if ob := cfg.Observer; ob != nil && observerTraces(ob) {
@@ -347,6 +361,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		st.EpochMemoHits = perf.EpochMemoHits
 		st.EpochMemoMisses = perf.EpochMemoMisses
 		st.EpochMemoStores = perf.EpochMemoStores
+		st.EpochMemoCorrupt = perf.EpochMemoCorrupt
 		st.ProgCacheHits = progHits
 		st.ProgCacheMisses = progMisses
 		cfg.Observer.RunDone(st)

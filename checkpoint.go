@@ -76,9 +76,9 @@ func RunKey(index int, cfg RunConfig) string {
 // observer — an interface value would render as an unstable pointer, and
 // attaching one must not change which checkpoint entries a sweep maps to).
 // The execution knobs EpochJobs/ProgCache/NoProgCache/NoFastForward/
-// NoEpochMemo are excluded for the same reason: they change how the host
-// computes the run, provably never what it computes, so a checkpoint
-// written at any setting restores at any other.
+// NoEpochMemo/EpochMemoBytes are excluded for the same reason: they change
+// how the host computes the run, provably never what it computes, so a
+// checkpoint written at any setting restores at any other.
 func fingerprint(cfg RunConfig) string {
 	cfg.DumpDir = ""
 	cfg.Observer = nil
@@ -87,6 +87,7 @@ func fingerprint(cfg RunConfig) string {
 	cfg.NoProgCache = false
 	cfg.NoFastForward = false
 	cfg.NoEpochMemo = false
+	cfg.EpochMemoBytes = 0
 	return fmt.Sprintf("%+v", cfg)
 }
 

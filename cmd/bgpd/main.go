@@ -7,7 +7,8 @@
 //
 // Submit a job, poll it, fetch the results:
 //
-//	curl -s -X POST localhost:8077/v1/jobs -d '{
+//	curl -s -X POST localhost:8077/v1/jobs \
+//	  -H 'Content-Type: application/json' -d '{
 //	  "tenant": "alice",
 //	  "runs": [{"benchmark": "ep", "class": "S", "ranks": 4, "mode": "vnm",
 //	            "opts": "-O5 -qarch=440d"}]
@@ -22,8 +23,12 @@
 // and concurrent submissions of the same configuration coalesce onto one
 // in-flight simulation. The checkpoint directory is the durable tier: a
 // restarted daemon rescans MANIFEST.json and keeps serving previously
-// completed work. The /metrics endpoint exposes the server.* cache and
-// admission counters alongside the sim.* and sweep.* metrics of the runs.
+// completed work, and the write-ahead job journal (JOURNAL.wal in the same
+// directory) replays accepted-but-unfinished jobs after a crash — kill -9
+// the daemon mid-sweep, restart it on the same -checkpoint, and the same
+// job ids converge to the same byte-identical results. The /metrics
+// endpoint exposes the server.* cache, admission, journal and audit
+// counters alongside the sim.* and sweep.* metrics of the runs.
 package main
 
 import (
@@ -58,17 +63,27 @@ func run() int {
 		tenantJobs = flag.Int("tenant-jobs", 0, "active jobs allowed per tenant; submissions past it get 429 (0 = default 8)")
 		maxRetries = flag.Int("max-retries", 0, "cap on the per-run retry budget a job may request (0 = default 3)")
 		maxTimeout = flag.Duration("max-run-timeout", 0, "cap on the per-attempt deadline a job may request (0 = default 10m)")
+		journal    = flag.Bool("journal", true, "write-ahead job journal: accepted jobs survive a crash and replay on restart")
+		leaseTTL   = flag.Duration("lease-ttl", 0, "running-job lease duration in the journal (0 = default 5s)")
+		maxRecover = flag.Int("max-recoveries", 0, "crash recoveries before a replayed job is failed instead of re-queued (0 = default 3)")
+		auditFrac  = flag.Float64("audit-fraction", 0, "fraction of cache hits shadow-audited by re-simulation (0 = off, 1 = all)")
+		memoBytes  = flag.Int64("epochmemo-bytes", 0, "epoch memo LRU byte budget: >0 sets it, <0 unbounded, 0 keeps the 256 MiB default; results do not depend on it")
 	)
 	flag.Parse()
 
 	s, err := server.New(server.Config{
-		CheckpointDir: *checkpoint,
-		RunWorkers:    *runWorkers,
-		JobWorkers:    *jobWorkers,
-		QueueDepth:    *queueDepth,
-		TenantJobs:    *tenantJobs,
-		MaxRetries:    *maxRetries,
-		MaxRunTimeout: *maxTimeout,
+		CheckpointDir:  *checkpoint,
+		RunWorkers:     *runWorkers,
+		JobWorkers:     *jobWorkers,
+		QueueDepth:     *queueDepth,
+		TenantJobs:     *tenantJobs,
+		MaxRetries:     *maxRetries,
+		MaxRunTimeout:  *maxTimeout,
+		NoJournal:      !*journal,
+		LeaseTTL:       *leaseTTL,
+		MaxRecoveries:  *maxRecover,
+		AuditFraction:  *auditFrac,
+		EpochMemoBytes: *memoBytes,
 	})
 	if err != nil {
 		log.Print(err)

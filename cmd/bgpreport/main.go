@@ -61,6 +61,7 @@ func run() int {
 
 		noFastFwd   = flag.Bool("no-fastforward", false, "disable epoch fast-forwarding; results do not depend on it")
 		noEpochMemo = flag.Bool("no-epochmemo", false, "disable the content-addressed epoch memo; results do not depend on it")
+		memoBytes   = flag.Int64("epochmemo-bytes", 0, "epoch memo LRU byte budget: >0 sets it, <0 unbounded, 0 keeps the 256 MiB default; results do not depend on it")
 
 		traceOut    = flag.String("trace", "", "write a Chrome-trace JSONL of sim-cycle spans (ranks, kernels, collectives) to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve the metrics registry over HTTP at this address (e.g. localhost:8080)")
@@ -86,16 +87,17 @@ func run() int {
 	missing := &experiments.MissingSet{}
 	s := experiments.Scale{
 		Class: cls, Ranks: *ranks, Jobs: *jobs,
-		Observer:      observer,
-		KeepGoing:     *keepGoing,
-		Retries:       *retries,
-		RunTimeout:    *runTimeout,
-		CheckpointDir: *checkpoint,
-		Resume:        *resume,
-		ResumeOnly:    *fromCkpt,
-		Missing:       missing,
-		NoFastForward: *noFastFwd,
-		NoEpochMemo:   *noEpochMemo,
+		Observer:       observer,
+		KeepGoing:      *keepGoing,
+		Retries:        *retries,
+		RunTimeout:     *runTimeout,
+		CheckpointDir:  *checkpoint,
+		Resume:         *resume,
+		ResumeOnly:     *fromCkpt,
+		Missing:        missing,
+		NoFastForward:  *noFastFwd,
+		NoEpochMemo:    *noEpochMemo,
+		EpochMemoBytes: *memoBytes,
 	}
 
 	var w io.Writer = os.Stdout

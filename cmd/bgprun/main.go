@@ -61,6 +61,7 @@ func run() int {
 		noProgCache = flag.Bool("no-progcache", false, "disable cross-run compile memoization; results do not depend on it")
 		noFastFwd   = flag.Bool("no-fastforward", false, "disable epoch fast-forwarding (sole-runnable ranks completing compute phases in one dispatch); results do not depend on it")
 		noEpochMemo = flag.Bool("no-epochmemo", false, "disable the content-addressed epoch memo (reruns replaying recorded epochs); results do not depend on it")
+		memoBytes   = flag.Int64("epochmemo-bytes", 0, "epoch memo LRU byte budget: >0 sets it, <0 unbounded, 0 keeps the 256 MiB default; results do not depend on it")
 		dumpDir     = flag.String("dump", "", "directory for per-node .bgpc counter dumps")
 		csvOut      = flag.String("csv", "", "write the metrics records to this CSV file")
 		timeline    = flag.String("timeline", "", "write a periodic counter timeline to this CSV file (single benchmark only)")
@@ -194,6 +195,7 @@ func run() int {
 		NoProgCache:     *noProgCache,
 		NoFastForward:   *noFastFwd,
 		NoEpochMemo:     *noEpochMemo,
+		EpochMemoBytes:  *memoBytes,
 	})
 	partial := false
 	if err != nil {

@@ -65,6 +65,7 @@ func run() int {
 		noProgCache = flag.Bool("no-progcache", false, "disable cross-run compile memoization; results do not depend on it")
 		noFastFwd   = flag.Bool("no-fastforward", false, "disable epoch fast-forwarding; results do not depend on it")
 		noEpochMemo = flag.Bool("no-epochmemo", false, "disable the content-addressed epoch memo; results do not depend on it")
+		memoBytes   = flag.Int64("epochmemo-bytes", 0, "epoch memo LRU byte budget: >0 sets it, <0 unbounded, 0 keeps the 256 MiB default; results do not depend on it")
 		progress    = flag.Bool("progress", false, "print sweep progress and throughput to stderr when done")
 
 		retries    = flag.Int("retries", 0, "per-run retry budget for transient failures")
@@ -128,17 +129,18 @@ func run() int {
 	missing := &experiments.MissingSet{}
 	s := experiments.Scale{
 		Class: cls, Ranks: *ranks, Jobs: *jobs,
-		Observer:      observer,
-		KeepGoing:     *keepGoing,
-		Retries:       *retries,
-		RunTimeout:    *runTimeout,
-		CheckpointDir: *checkpoint,
-		Resume:        *resume,
-		Missing:       missing,
-		EpochJobs:     *epochJobs,
-		NoProgCache:   *noProgCache,
-		NoFastForward: *noFastFwd,
-		NoEpochMemo:   *noEpochMemo,
+		Observer:       observer,
+		KeepGoing:      *keepGoing,
+		Retries:        *retries,
+		RunTimeout:     *runTimeout,
+		CheckpointDir:  *checkpoint,
+		Resume:         *resume,
+		Missing:        missing,
+		EpochJobs:      *epochJobs,
+		NoProgCache:    *noProgCache,
+		NoFastForward:  *noFastFwd,
+		NoEpochMemo:    *noEpochMemo,
+		EpochMemoBytes: *memoBytes,
 	}
 	if *progress {
 		s.Progress = &tracker

@@ -23,6 +23,18 @@ import (
 // Key is a 256-bit content address of one epoch.
 type Key [32]byte
 
+// Checksummer lets a cached record carry end-to-end integrity: Put snapshots
+// the record's checksum and Get recomputes and compares it before returning
+// the record. A mismatch — bit rot, an accidental mutation of a supposedly
+// immutable entry, a buggy recorder — evicts the entry and reads as a miss,
+// so a damaged epoch can cost time but never a wrong answer. Records that
+// don't implement the interface are cached unchecked, as before.
+type Checksummer interface {
+	// Checksum folds the record's observable content into one word; it
+	// must be deterministic and must cover every field replay consumes.
+	Checksum() uint64
+}
+
 // DefaultBudget bounds the process-wide default cache: enough for the
 // full figure suite's epochs at quick scale with headroom, small enough to
 // stay irrelevant next to the simulated machines themselves.
@@ -41,6 +53,9 @@ type Stats struct {
 	Dropped uint64
 	// Evictions counts entries dropped by the byte budget.
 	Evictions uint64
+	// Corrupt counts probes whose entry failed its checksum; each is also
+	// counted as a miss (the caller re-simulates) and evicts the entry.
+	Corrupt uint64
 	// Bytes is the current resident payload size.
 	Bytes int64
 	// Entries is the current entry count.
@@ -48,10 +63,12 @@ type Stats struct {
 }
 
 type entry struct {
-	key   Key
-	val   any
-	bytes int64
-	elem  *list.Element
+	key    Key
+	val    any
+	bytes  int64
+	sum    uint64
+	hasSum bool
+	elem   *list.Element
 }
 
 // Cache is a byte-bounded LRU of immutable epoch records, safe for
@@ -87,18 +104,39 @@ func Default() *Cache {
 }
 
 // Get returns the record stored under k, or nil. A found entry is marked
-// most recently used.
+// most recently used; an entry failing its checksum is evicted and reads as
+// a miss (see GetChecked for the corruption signal).
 func (c *Cache) Get(k Key) any {
+	v, _ := c.GetChecked(k)
+	return v
+}
+
+// GetChecked is Get plus the integrity verdict: corrupt reports that an
+// entry existed under k but failed its checksum — it has been evicted, the
+// probe counts as a miss, and the caller must re-simulate. The distinction
+// lets callers export corruption counters while the correctness story stays
+// "a damaged entry is just a miss".
+func (c *Cache) GetChecked(k Key) (val any, corrupt bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[k]
 	if !ok {
 		c.stats.Misses++
-		return nil
+		return nil, false
+	}
+	if e.hasSum {
+		if cs, ok := e.val.(Checksummer); !ok || cs.Checksum() != e.sum {
+			c.order.Remove(e.elem)
+			delete(c.entries, e.key)
+			c.bytes -= e.bytes
+			c.stats.Corrupt++
+			c.stats.Misses++
+			return nil, true
+		}
 	}
 	c.stats.Hits++
 	c.order.MoveToFront(e.elem)
-	return e.val
+	return e.val, false
 }
 
 // Put stores an immutable record of the given payload size under k and
@@ -122,6 +160,9 @@ func (c *Cache) Put(k Key, val any, bytes int64) bool {
 		return false
 	}
 	e := &entry{key: k, val: val, bytes: bytes}
+	if cs, ok := val.(Checksummer); ok {
+		e.sum, e.hasSum = cs.Checksum(), true
+	}
 	e.elem = c.order.PushFront(e)
 	c.entries[k] = e
 	c.bytes += bytes
@@ -147,6 +188,64 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// SetBudget re-bounds the cache to at most budget payload bytes (budget < 1
+// = unbounded), evicting least-recently-used entries as needed. Resizing
+// never affects results — evicted epochs simply re-simulate — so the knob
+// is excluded from checkpoint fingerprints like the other accelerator
+// settings.
+func (c *Cache) SetBudget(budget int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = budget
+	if budget < 1 {
+		return
+	}
+	for c.bytes > budget {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		v := back.Value.(*entry)
+		c.order.Remove(back)
+		delete(c.entries, v.key)
+		c.bytes -= v.bytes
+		c.stats.Evictions++
+	}
+}
+
+// Budget returns the current byte budget (< 1 = unbounded).
+func (c *Cache) Budget() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budget
+}
+
+// Keys returns the cached keys in no particular order. It exists for
+// integrity audits and tests that need to reach entries without knowing how
+// their keys were derived.
+func (c *Cache) Keys() []Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]Key, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Peek returns the record under k without checksum verification, LRU
+// movement or stats accounting — the raw stored value, nil when absent.
+// Audits and tests use it to inspect (or deliberately damage) entries;
+// production readers go through Get/GetChecked.
+func (c *Cache) Peek(k Key) any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		return e.val
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the cumulative counters.

@@ -67,3 +67,106 @@ func TestOversizedDropped(t *testing.T) {
 		t.Fatal("oversized Put evicted resident entries")
 	}
 }
+
+// summed is a mutable checksummed record: damage after Put is detectable.
+type summed struct{ words []uint64 }
+
+func (s *summed) Checksum() uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range s.words {
+		h ^= w
+		h *= 0xff51afd7ed558ccd
+	}
+	return h
+}
+
+func TestChecksumDetectsTamperedEntry(t *testing.T) {
+	c := New(0)
+	rec := &summed{words: []uint64{1, 2, 3}}
+	c.Put(key(1), rec, 24)
+	if v, corrupt := c.GetChecked(key(1)); v != rec || corrupt {
+		t.Fatalf("intact entry: val %v, corrupt %v", v, corrupt)
+	}
+
+	rec.words[1] ^= 1 // bit rot
+	v, corrupt := c.GetChecked(key(1))
+	if v != nil || !corrupt {
+		t.Fatalf("tampered entry: val %v, corrupt %v — a damaged epoch must read as a miss", v, corrupt)
+	}
+	if c.Len() != 0 {
+		t.Fatal("tampered entry not evicted")
+	}
+	s := c.Stats()
+	if s.Corrupt != 1 || s.Misses != 1 || s.Hits != 1 || s.Bytes != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	// The key is free again: a re-recorded replacement is served normally.
+	fresh := &summed{words: []uint64{1, 2, 3}}
+	if !c.Put(key(1), fresh, 24) {
+		t.Fatal("re-Put after corruption eviction rejected")
+	}
+	if v, corrupt := c.GetChecked(key(1)); v != fresh || corrupt {
+		t.Fatalf("re-recorded entry: val %v, corrupt %v", v, corrupt)
+	}
+}
+
+func TestUncheckedValuesStayUnchecked(t *testing.T) {
+	c := New(0)
+	c.Put(key(1), "plain", 8)
+	if v, corrupt := c.GetChecked(key(1)); v != "plain" || corrupt {
+		t.Fatalf("unchecksummed entry: val %v, corrupt %v", v, corrupt)
+	}
+	if s := c.Stats(); s.Corrupt != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestSetBudgetEvictsDownToBound(t *testing.T) {
+	c := New(0)
+	for b := byte(1); b <= 4; b++ {
+		c.Put(key(b), int(b), 10)
+	}
+	c.Get(key(1)) // make 2 the LRU entry
+	c.SetBudget(25)
+	if got := c.Budget(); got != 25 {
+		t.Fatalf("budget %d, want 25", got)
+	}
+	if c.Get(key(2)) != nil || c.Get(key(3)) != nil {
+		t.Fatal("SetBudget kept least-recently-used entries over the bound")
+	}
+	if c.Get(key(1)) == nil || c.Get(key(4)) == nil {
+		t.Fatal("SetBudget evicted recently used entries")
+	}
+	if s := c.Stats(); s.Bytes != 20 || s.Entries != 2 || s.Evictions != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	// Growing (or unbounding) the budget evicts nothing.
+	c.SetBudget(0)
+	c.Put(key(5), 5, 1000)
+	if c.Get(key(5)) == nil {
+		t.Fatal("unbounded cache rejected an entry")
+	}
+}
+
+func TestKeysAndPeek(t *testing.T) {
+	c := New(0)
+	c.Put(key(1), "a", 1)
+	c.Put(key(2), "b", 1)
+	keys := c.Keys()
+	if len(keys) != 2 {
+		t.Fatalf("Keys returned %d keys", len(keys))
+	}
+	seen := map[any]bool{}
+	for _, k := range keys {
+		seen[c.Peek(k)] = true
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("Peek values %v", seen)
+	}
+	if c.Peek(key(3)) != nil {
+		t.Fatal("Peek invented an entry")
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("Keys/Peek touched stats: %+v", s)
+	}
+}

@@ -89,6 +89,9 @@ type Scale struct {
 	// NoEpochMemo disables the epoch memo (see
 	// bgp.RunConfig.NoEpochMemo); figures are identical either way.
 	NoEpochMemo bool
+	// EpochMemoBytes re-bounds the epoch memo byte budget (see
+	// bgp.RunConfig.EpochMemoBytes); figures are identical at every value.
+	EpochMemoBytes int64
 }
 
 // MissingSet accumulates the identity of every figure point that could not
@@ -195,6 +198,7 @@ func runAll(s Scale, cfgs []bgp.RunConfig) ([]*bgp.Result, error) {
 		NoProgCache:     s.NoProgCache,
 		NoFastForward:   s.NoFastForward,
 		NoEpochMemo:     s.NoEpochMemo,
+		EpochMemoBytes:  s.EpochMemoBytes,
 	})
 	if err != nil {
 		var se *sweep.SweepError

@@ -101,7 +101,7 @@ type epochMemo struct {
 	disabled bool
 	poisoned atomic.Bool // external state mutation seen mid-run
 
-	hits, misses, stores uint64
+	hits, misses, stores, corrupt uint64
 }
 
 // memoRank is the per-rank side of the memo: the rolling history fold, the
@@ -146,6 +146,49 @@ type entryRank struct {
 	recvSeq []int
 	rngSeq  []uint64
 	mailbox map[int][]message
+}
+
+// Checksum folds every field replay consumes into one word, making the
+// entry an epochmemo.Checksummer: the cache re-derives this at every hit
+// and treats a mismatch — bit rot, an accidental in-place mutation of a
+// supposedly immutable entry — as a miss, so a damaged epoch re-simulates
+// instead of replaying wrong state.
+func (e *epochEntry) Checksum() uint64 {
+	h := foldWord(0x9e3779b97f4a7c15, uint64(len(e.diffIdx)))
+	for i, idx := range e.diffIdx {
+		h = foldWord(foldWord(h, uint64(uint32(idx))), e.diffVal[i])
+	}
+	h = foldWord(foldWord(h, uint64(e.closeOp)), uint64(e.closeBytes)<<16|uint64(uint32(e.closeRoot)))
+	for i := 0; i < len(e.nextKey); i += 8 {
+		h = foldWord(h, binary.LittleEndian.Uint64(e.nextKey[i:]))
+	}
+	h = foldWord(h, uint64(len(e.ranks)))
+	for i := range e.ranks {
+		er := &e.ranks[i]
+		h = foldWord(h, uint64(er.budget))
+		h = foldWord(h, uint64(len(er.recvSeq)))
+		for _, v := range er.recvSeq {
+			h = foldWord(h, uint64(v))
+		}
+		h = foldWord(h, uint64(len(er.rngSeq)))
+		for _, v := range er.rngSeq {
+			h = foldWord(h, v)
+		}
+		srcs := make([]int, 0, len(er.mailbox))
+		for src := range er.mailbox {
+			srcs = append(srcs, src)
+		}
+		sort.Ints(srcs)
+		h = foldWord(h, uint64(len(srcs)))
+		for _, src := range srcs {
+			q := er.mailbox[src]
+			h = foldWord(foldWord(h, uint64(src)), uint64(len(q)))
+			for _, msg := range q {
+				h = foldWord(foldWord(h, uint64(msg.bytes)), msg.arrival)
+			}
+		}
+	}
+	return h
 }
 
 // History fold tags, one per op kind. Results that feed back into body
@@ -242,8 +285,9 @@ type PerfStats struct {
 	// FFDispatches counts compute ops that ran to completion in one
 	// dispatch; FFCycles is the simulated cycles they covered.
 	FFDispatches, FFCycles uint64
-	// Epoch memo probe and store counts for this job only.
-	EpochMemoHits, EpochMemoMisses, EpochMemoStores uint64
+	// Epoch memo probe and store counts for this job only. Corrupt counts
+	// probes whose cached entry failed its checksum (evicted, re-simulated).
+	EpochMemoHits, EpochMemoMisses, EpochMemoStores, EpochMemoCorrupt uint64
 }
 
 // Perf returns this job's fast-forward and memo counters.
@@ -254,7 +298,7 @@ func (j *Job) Perf() PerfStats {
 		s.FFCycles += r.ffCycles
 	}
 	if m := j.memo; m != nil {
-		s.EpochMemoHits, s.EpochMemoMisses, s.EpochMemoStores = m.hits, m.misses, m.stores
+		s.EpochMemoHits, s.EpochMemoMisses, s.EpochMemoStores, s.EpochMemoCorrupt = m.hits, m.misses, m.stores, m.corrupt
 	}
 	return s
 }
@@ -388,13 +432,19 @@ func (m *epochMemo) atCut(cs *collState) bool {
 		m.replayed = nil
 	}
 
-	if v := m.cache.Get(key); v != nil {
+	v, corrupt := m.cache.GetChecked(key)
+	if v != nil {
 		ent := v.(*epochEntry)
 		m.hits++
 		m.apply(ent)
 		m.chainKey, m.haveChain = ent.nextKey, true
 		m.replayed = ent
 		return true
+	}
+	if corrupt {
+		// The cache evicted a checksum-failed entry; re-simulate and
+		// re-record as an ordinary miss — never replay damaged state.
+		m.corrupt++
 	}
 	m.misses++
 	m.openRecording(key)

@@ -132,6 +132,51 @@ func TestEpochMemoReplayByteIdentical(t *testing.T) {
 	}
 }
 
+// TestEpochMemoCorruptEntryDetected damages a cached epoch in place and
+// pins the integrity contract: the checksum catches the corruption at the
+// next probe, the run re-simulates (byte-identical to a plain run), and
+// the damage is counted — never replayed.
+func TestEpochMemoCorruptEntryDetected(t *testing.T) {
+	plain, _ := runMixed(t, nil)
+	want := machineState(plain)
+
+	cache := epochmemo.New(0)
+	runMixed(t, cache) // cold run populates the cache
+	stored := cache.Len()
+	if stored == 0 {
+		t.Fatal("cold run stored nothing")
+	}
+
+	// Flip one bit in every cached entry's recorded machine diff.
+	for _, k := range cache.Keys() {
+		ent := cache.Peek(k).(*epochEntry)
+		if len(ent.diffVal) == 0 {
+			t.Fatalf("entry %x has no diff to tamper with", k[:4])
+		}
+		ent.diffVal[0] ^= 1
+	}
+
+	warm, _ := runMixed(t, cache)
+	diffStates(t, "run over tampered cache vs plain", want, machineState(warm))
+	p := warm.Perf()
+	if p.EpochMemoHits != 0 {
+		t.Fatalf("tampered entries replayed: %+v", p)
+	}
+	if p.EpochMemoCorrupt != uint64(stored) {
+		t.Fatalf("perf = %+v, want %d corrupt probes", p, stored)
+	}
+	if s := cache.Stats(); s.Corrupt != uint64(stored) {
+		t.Fatalf("cache stats %+v, want %d corrupt", s, stored)
+	}
+
+	// The re-simulated epochs were re-stored intact: a third run replays.
+	again, _ := runMixed(t, cache)
+	diffStates(t, "recovered cache warm run vs plain", want, machineState(again))
+	if p := again.Perf(); p.EpochMemoHits == 0 || p.EpochMemoCorrupt != 0 {
+		t.Fatalf("recovered cache perf = %+v, want hits and no corruption", p)
+	}
+}
+
 // collectiveBody is epoch-scheduler compatible: collectives only.
 func collectiveBody(p1, p2 *isa.Program) func(*Rank) {
 	return func(r *Rank) {

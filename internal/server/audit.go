@@ -1,0 +1,128 @@
+package server
+
+// Background shadow audit: a deterministic sample of store-served RunKeys
+// is re-simulated on the slow path — every accelerator (epoch memo,
+// fast-forward, compile cache) disabled — and the dump bytes compared.
+// The accelerated and slow paths are proven byte-identical by the
+// equivalence suites; the audit turns that contract into a continuously
+// checked production invariant, catching on-disk corruption the CRC layer
+// missed or an acceleration-layer regression, at a bounded background cost.
+
+import (
+	"bytes"
+	"hash/fnv"
+
+	bgp "bgpsim"
+)
+
+// auditQueueDepth bounds audits waiting for the audit worker; a full queue
+// drops the sample (counted by server.audit.skipped) rather than stalling
+// the serving path.
+const auditQueueDepth = 64
+
+// auditTask is one sampled store hit: the served result and the
+// configuration to re-derive it from.
+type auditTask struct {
+	key  string
+	cfg  bgp.RunConfig
+	want *bgp.Result
+}
+
+// auditSampled reports whether key falls into the deterministic audit
+// sample: the decision is a pure function of the RunKey, so repeated hits
+// of one key are audited consistently and the sampled set is reproducible
+// across instances.
+func (s *Server) auditSampled(key string) bool {
+	f := s.cfg.AuditFraction
+	if f <= 0 {
+		return false
+	}
+	if f >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return float64(h.Sum64()%1_000_000)/1_000_000 < f
+}
+
+// maybeAudit enqueues a sampled store hit for background verification.
+func (s *Server) maybeAudit(key string, cfg bgp.RunConfig, res *bgp.Result) {
+	if !s.auditSampled(key) {
+		return
+	}
+	select {
+	case s.auditCh <- auditTask{key: key, cfg: cfg, want: res}:
+	default:
+		s.auditSkipped.Inc()
+	}
+}
+
+// auditWorker drains sampled store hits until the server closes.
+func (s *Server) auditWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case t := <-s.auditCh:
+			s.auditOne(t)
+		}
+	}
+}
+
+// auditOne re-simulates one sampled result on the slow path and compares
+// dump bytes, under the run semaphore so audits never starve real jobs.
+func (s *Server) auditOne(t auditTask) {
+	select {
+	case s.runSem <- struct{}{}:
+	case <-s.ctx.Done():
+		return
+	}
+	defer func() { <-s.runSem }()
+
+	cfg := t.cfg
+	cfg.NoFastForward = true
+	cfg.NoEpochMemo = true
+	cfg.NoProgCache = true
+	cfg.Observer = nil
+	cfg.DumpDir = ""
+	fresh, err := bgp.Run(cfg)
+	if err != nil {
+		// An audit that cannot run proves nothing either way.
+		s.auditSkipped.Inc()
+		return
+	}
+	ok, err := dumpsEqual(t.want, fresh)
+	if err != nil {
+		s.auditSkipped.Inc()
+		return
+	}
+	if ok {
+		s.auditOK.Inc()
+	} else {
+		s.auditMismatch.Inc()
+	}
+}
+
+// dumpsEqual compares two results' encoded dump bytes — exactly the bytes
+// the API serves and the checkpoint store CRC-stamps.
+func dumpsEqual(a, b *bgp.Result) (bool, error) {
+	if len(a.Dumps) != len(b.Dumps) {
+		return false, nil
+	}
+	var ab, bb bytes.Buffer
+	for i := range a.Dumps {
+		ab.Reset()
+		bb.Reset()
+		if err := a.Dumps[i].Encode(&ab); err != nil {
+			return false, err
+		}
+		if err := b.Dumps[i].Encode(&bb); err != nil {
+			return false, err
+		}
+		if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -10,17 +10,22 @@ package server
 //	                              ?run=I&node=J (byte-identical to the
 //	                              .bgpc file bgp.Run would write)
 //	GET  /metrics                 the obs registry snapshot (JSON)
-//	GET  /healthz                 liveness
+//	GET  /healthz                 liveness: the process is up
+//	GET  /readyz                  readiness: journal replayed and the job
+//	                              queue below saturation, else 503
 //
 // Error responses are JSON objects {"error": "..."}: 400 for malformed or
 // invalid specs, 404 for unknown ids and indices, 409 for results fetched
-// before the job is done, 429 for admission refusals (bounded queue,
-// per-tenant concurrency), 405/413 from the mux and body limit.
+// before the job is done, 413/415 for oversized or non-JSON submit bodies,
+// 429 for admission refusals (bounded queue, per-tenant concurrency), 500
+// for a submission the journal could not make durable, 405 from the mux.
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"strconv"
 	"time"
@@ -32,17 +37,19 @@ import (
 // tens of KB; 1 MB is generous).
 const maxSpecBytes = 1 << 20
 
-// JobStatus is the wire form of a job's state.
+// JobStatus is the wire form of a job's state. Recoveries reports how many
+// times a daemon crash re-queued the job (journal replay).
 type JobStatus struct {
-	ID        string `json:"id"`
-	Tenant    string `json:"tenant"`
-	State     string `json:"state"`
-	Runs      int    `json:"runs"`
-	Completed int    `json:"completed"`
-	Failed    int    `json:"failed"`
-	CacheHits int    `json:"cache_hits"`
-	Error     string `json:"error,omitempty"`
-	Created   int64  `json:"created_unix"`
+	ID         string `json:"id"`
+	Tenant     string `json:"tenant"`
+	State      string `json:"state"`
+	Runs       int    `json:"runs"`
+	Completed  int    `json:"completed"`
+	Failed     int    `json:"failed"`
+	CacheHits  int    `json:"cache_hits"`
+	Recoveries int    `json:"recoveries,omitempty"`
+	Error      string `json:"error,omitempty"`
+	Created    int64  `json:"created_unix"`
 }
 
 // status snapshots a job for the API.
@@ -50,15 +57,16 @@ func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return JobStatus{
-		ID:        j.id,
-		Tenant:    j.tenant,
-		State:     j.state,
-		Runs:      len(j.cfgs),
-		Completed: j.completed,
-		Failed:    j.failed,
-		CacheHits: j.cacheHits,
-		Error:     j.errMsg,
-		Created:   j.created.Unix(),
+		ID:         j.id,
+		Tenant:     j.tenant,
+		State:      j.state,
+		Runs:       len(j.cfgs),
+		Completed:  j.completed,
+		Failed:     j.failed,
+		CacheHits:  j.cacheHits,
+		Recoveries: j.recoveries,
+		Error:      j.errMsg,
+		Created:    j.created.Unix(),
 	}
 }
 
@@ -73,7 +81,27 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"ok\":true,\"checkpointed\":%d}\n", s.store.Len())
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
+}
+
+// handleReady reports readiness: the journal has been replayed (recovered
+// jobs are re-queued and the daemon's view of the world is complete) and
+// the job queue has room. A saturated queue answers 503 so a load balancer
+// steers submissions to instances that can actually admit them.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	depth := len(s.pending)
+	s.mu.Unlock()
+	if !s.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, "journal replay in progress")
+		return
+	}
+	if depth >= s.cfg.QueueDepth {
+		writeError(w, http.StatusServiceUnavailable, "job queue saturated (%d queued)", depth)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "queued": depth})
 }
 
 // writeJSON renders v with a status code.
@@ -90,21 +118,38 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// handleSubmit decodes, validates and admits one job submission.
+// handleSubmit decodes, validates and admits one job submission. The body
+// must declare Content-Type: application/json and fit maxSpecBytes — both
+// are checked before any bytes reach the JSON decoder.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil || ct != "application/json" {
+		writeError(w, http.StatusUnsupportedMediaType,
+			"submissions must declare Content-Type: application/json (got %q)", r.Header.Get("Content-Type"))
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, maxSpecBytes)
 	spec, cfgs, err := DecodeJobSpec(body)
 	if err != nil {
 		code := http.StatusBadRequest
-		if _, tooLarge := err.(*http.MaxBytesError); tooLarge {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
 			code = http.StatusRequestEntityTooLarge
+			err = fmt.Errorf("request body exceeds the %d-byte limit", maxSpecBytes)
 		}
 		writeError(w, code, "%v", err)
 		return
 	}
 	j, created, err := s.Submit(spec, cfgs)
 	if err != nil {
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		var adm *admissionError
+		if errors.As(err, &adm) {
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		// The journal could not make the submission durable; refusing it
+		// outright beats acknowledging a job a crash would silently lose.
+		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	code := http.StatusOK

@@ -1,0 +1,200 @@
+package server
+
+// Boot-time journal replay: reconstruct the job table the previous instance
+// journaled, re-queue everything non-terminal, and compact the log. Runs
+// inside New, strictly before the first new append and before the job
+// workers start, so replay never races admissions and compaction never
+// drops a fresh record.
+//
+// Recovery is idempotent by content addressing: a re-queued job's id is the
+// hash of its spec, and each of its runs resolves through the RunKey result
+// cache, so runs the dead instance already persisted restore from the
+// checkpoint store instead of re-simulating — crash recovery costs only the
+// work the crash actually lost.
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	bgp "bgpsim"
+	"bgpsim/internal/journal"
+)
+
+// replayedJob is the folded journal state of one job id: its last submit
+// record, latest state transition, and latest lease.
+type replayedJob struct {
+	submit      journal.Record
+	state       string
+	errMsg      string
+	recoveries  int
+	owner       string
+	leaseExpiry int64 // unix nanos; max over lease records
+}
+
+// foldRecords reduces a replayed record sequence to per-job state, last
+// write wins, in first-submission order. Unknown kinds and state/lease
+// records without a preceding submit are ignored (a compacted prefix plus
+// a torn tail can orphan them; they carry no recoverable work).
+func foldRecords(recs []journal.Record) (jobs map[string]*replayedJob, order []string) {
+	jobs = make(map[string]*replayedJob)
+	for _, rec := range recs {
+		switch rec.Kind {
+		case journal.KindSubmit:
+			if rj, ok := jobs[rec.Job]; ok {
+				// Resubmission of a previously failed job: fresh lifecycle.
+				rj.submit = rec
+				rj.state = StateQueued
+				rj.errMsg = ""
+				rj.recoveries = 0
+				continue
+			}
+			jobs[rec.Job] = &replayedJob{submit: rec, state: StateQueued}
+			order = append(order, rec.Job)
+		case journal.KindState:
+			if rj, ok := jobs[rec.Job]; ok {
+				rj.state = rec.State
+				rj.errMsg = rec.Error
+				rj.recoveries = rec.Recoveries
+				rj.owner = rec.Owner
+			}
+		case journal.KindLease:
+			if rj, ok := jobs[rec.Job]; ok {
+				rj.owner = rec.Owner
+				if rec.ExpiryUnixNano > rj.leaseExpiry {
+					rj.leaseExpiry = rec.ExpiryUnixNano
+				}
+			}
+		}
+	}
+	return jobs, order
+}
+
+// recoverJournal replays the journal into the job table: terminal jobs are
+// re-registered so their ids keep answering the API, and every non-terminal
+// job is re-queued — after waiting out an unexpired foreign lease, and
+// within its recovery budget. The log is then compacted to the folded live
+// state.
+func (s *Server) recoverJournal(recs []journal.Record) {
+	s.journalReplayed.Add(uint64(len(recs)))
+	jobs, order := foldRecords(recs)
+
+	now := time.Now()
+	var live []journal.Record
+	for _, id := range order {
+		rj := jobs[id]
+		keep := s.recoverJob(id, rj, now)
+		if !keep {
+			continue
+		}
+		live = append(live, rj.submit)
+		switch rj.state {
+		case StateDone, StateFailed:
+			live = append(live, journal.Record{
+				Kind: journal.KindState, Job: id, State: rj.state, Error: rj.errMsg,
+			})
+		default:
+			if rj.recoveries > 0 {
+				live = append(live, journal.Record{
+					Kind: journal.KindState, Job: id, State: StateQueued,
+					Recoveries: rj.recoveries,
+				})
+			}
+		}
+	}
+	if s.jnl != nil {
+		if err := s.jnl.Compact(live); err != nil {
+			// Compaction is an optimization; the uncompacted log replays
+			// identically next boot.
+			s.journalErrors.Inc()
+		}
+	}
+}
+
+// recoverJob reconstructs one folded job. It returns false when the job
+// must be dropped from the compacted log (its journaled spec no longer
+// decodes to the same content address — nothing can be recovered from it).
+func (s *Server) recoverJob(id string, rj *replayedJob, now time.Time) bool {
+	spec, cfgs, err := DecodeJobSpec(bytes.NewReader(rj.submit.Spec))
+	if err == nil && JobID(spec, cfgs) != id {
+		err = fmt.Errorf("journaled spec hashes to %s, record says %s", JobID(spec, cfgs), id)
+	}
+	if err != nil {
+		// The record passed its CRC but the spec is semantically unusable
+		// (a version skew in the spec schema, or a hand-edited log).
+		s.journalRecoveryFailed.Inc()
+		return false
+	}
+	retries := spec.Retries
+	if retries > s.cfg.MaxRetries {
+		retries = s.cfg.MaxRetries
+	}
+	timeout := spec.RunTimeout()
+	if timeout > s.cfg.MaxRunTimeout {
+		timeout = s.cfg.MaxRunTimeout
+	}
+	j := &job{
+		id:         id,
+		tenant:     spec.Tenant,
+		cfgs:       cfgs,
+		retries:    retries,
+		runTimeout: timeout,
+		created:    time.Unix(rj.submit.CreatedUnix, 0),
+		state:      StateQueued,
+		results:    make([]*bgp.Result, len(cfgs)),
+		done:       make(chan struct{}),
+	}
+
+	switch rj.state {
+	case StateFailed:
+		// Terminal: keep the id answering the API, nothing to re-run.
+		j.state = StateFailed
+		j.errMsg = rj.errMsg
+		close(j.done)
+		s.jobs[id] = j
+		return true
+	case StateRunning:
+		// The owner died mid-job. Burn one recovery and trip the breaker
+		// when the budget is gone: a spec that crashes the daemon every
+		// time it runs must not wedge every future boot.
+		j.recoveries = rj.recoveries + 1
+		rj.recoveries = j.recoveries
+		if j.recoveries > s.cfg.MaxRecoveries {
+			j.state = StateFailed
+			j.errMsg = fmt.Sprintf(
+				"abandoned after %d crash recoveries (last owner %s died while running it); resubmit to retry",
+				s.cfg.MaxRecoveries, rj.owner)
+			rj.state, rj.errMsg = StateFailed, j.errMsg
+			close(j.done)
+			s.jobs[id] = j
+			s.journalRecoveryFailed.Inc()
+			s.jobsFailed.Inc()
+			return true
+		}
+	case StateDone:
+		// Completed work replays as pure store hits; re-queue it so the
+		// job id serves results again without holding boot hostage.
+	}
+
+	// Live job: register now (visible to the API immediately), queue now or
+	// after the dead owner's lease expires.
+	s.jobs[id] = j
+	s.tenants[j.tenant]++
+	s.jobsActive.Add(1)
+	if rj.state != StateDone {
+		s.journalRecovered.Inc()
+	}
+	delay := time.Duration(0)
+	if rj.state == StateRunning && rj.owner != s.owner {
+		if until := time.Unix(0, rj.leaseExpiry).Sub(now); until > 0 {
+			delay = min(until, s.cfg.LeaseTTL)
+		}
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, func() { s.enqueue(j) })
+		return true
+	}
+	s.pending = append(s.pending, j)
+	s.queueDepth.Set(int64(len(s.pending)))
+	return true
+}

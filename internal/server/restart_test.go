@@ -40,11 +40,15 @@ func TestRestartServesStoreAndResumesInterruptedSweep(t *testing.T) {
 	// deterministic stand-in for "killed mid-sweep".
 	inj := faults.New(0xBEEF)
 	inj.Arm(bgp.RunKey(0, cfgs[1]), faults.Stall)
+	// NoJournal isolates the store tier: with the journal on, the second
+	// instance would re-queue the interrupted jobs itself (that path is
+	// TestCrashRecoveryReplaysJournal's subject) and skew the miss counts.
 	s1, ts1 := newTestServer(t, server.Config{
 		CheckpointDir: ckptDir,
 		JobWorkers:    1,
 		RunWorkers:    1,
 		Faults:        inj,
+		NoJournal:     true,
 	})
 	var ids [3]string
 	for i, rs := range specs {
@@ -64,7 +68,7 @@ func TestRestartServesStoreAndResumesInterruptedSweep(t *testing.T) {
 
 	// Fresh instance, same directory: the manifest rescan serves the
 	// completed run; the interrupted remainder re-executes.
-	s2, ts2 := newTestServer(t, server.Config{CheckpointDir: ckptDir})
+	s2, ts2 := newTestServer(t, server.Config{CheckpointDir: ckptDir, NoJournal: true})
 	if n := s2.Store().Len(); n != 1 {
 		t.Fatalf("restarted store indexes %d runs, want 1", n)
 	}

@@ -2,13 +2,18 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	bgp "bgpsim"
 	"bgpsim/internal/faults"
+	"bgpsim/internal/journal"
 	"bgpsim/internal/obs"
 )
 
@@ -36,7 +41,35 @@ const (
 	MetricCacheHitStore    = "server.cache.hit_store"
 	// MetricCacheMiss counts runs that executed a simulation.
 	MetricCacheMiss = "server.cache.miss"
+
+	// MetricJournalRecords counts records appended to the write-ahead job
+	// journal; MetricJournalReplayed counts records replayed at boot.
+	MetricJournalRecords  = "server.journal.records"
+	MetricJournalReplayed = "server.journal.replayed"
+	// MetricJournalTruncated gauges the torn-tail bytes the boot replay
+	// truncated away (a crash mid-append; detected, never fatal).
+	MetricJournalTruncated = "server.journal.truncated_bytes"
+	// MetricJournalRecovered counts non-terminal jobs re-queued by a boot
+	// replay; MetricJournalRecoveryFailed counts jobs the replay had to
+	// abandon (recovery budget exhausted, or an undecodable journaled spec).
+	MetricJournalRecovered      = "server.journal.recovered"
+	MetricJournalRecoveryFailed = "server.journal.recovery_failed"
+	// MetricJournalErrors counts journal append/compact failures (the job
+	// keeps running; durability degrades until the disk recovers).
+	MetricJournalErrors = "server.journal.errors"
+
+	// MetricAuditOK / MetricAuditMismatch count background shadow audits:
+	// store-served results re-simulated on the slow path and compared byte
+	// for byte. MetricAuditSkipped counts sampled audits dropped because
+	// the audit queue was full or the re-simulation errored.
+	MetricAuditOK       = "server.audit.ok"
+	MetricAuditMismatch = "server.audit.mismatch"
+	MetricAuditSkipped  = "server.audit.skipped"
 )
+
+// JournalFile is the write-ahead job journal's name under CheckpointDir,
+// next to the checkpoint store's MANIFEST.json.
+const JournalFile = "JOURNAL.wal"
 
 // Config parameterizes a Server. The zero value of every field selects a
 // sensible default.
@@ -66,6 +99,26 @@ type Config struct {
 	// Registry, when non-nil, receives the server's metrics; nil creates
 	// a private registry (retrievable via Registry).
 	Registry *obs.Registry
+	// NoJournal disables the write-ahead job journal (on by default): no
+	// JOURNAL.wal is written and a restarted daemon forgets queued and
+	// running jobs, serving only what the checkpoint store holds.
+	NoJournal bool
+	// LeaseTTL is how long a running job's journal lease asserts its owner
+	// alive (default 5s; renewed at half-life). A restarted daemon waits
+	// out an unexpired lease before re-queuing the job under it.
+	LeaseTTL time.Duration
+	// MaxRecoveries bounds how many times a crash may re-queue one job
+	// before the replay fails it with a diagnostic instead — the per-job
+	// circuit breaker against crash-looping specs (default 3).
+	MaxRecoveries int
+	// AuditFraction in (0,1] enables the background shadow audit: that
+	// deterministic fraction of store-served RunKeys is re-simulated on
+	// the slow path and compared byte for byte (default 0 = off).
+	AuditFraction float64
+	// EpochMemoBytes re-bounds the epoch memo byte budget for the
+	// daemon's runs (see bgp.RunConfig.EpochMemoBytes; 0 keeps the
+	// default).
+	EpochMemoBytes int64
 }
 
 // withDefaults resolves the zero-value fields.
@@ -88,6 +141,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxRunTimeout <= 0 {
 		c.MaxRunTimeout = 10 * time.Minute
 	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 5 * time.Second
+	}
+	if c.MaxRecoveries < 1 {
+		c.MaxRecoveries = 3
+	}
 	return c
 }
 
@@ -108,14 +167,28 @@ type job struct {
 	runTimeout time.Duration
 	created    time.Time
 
-	mu        sync.Mutex
-	state     string
-	completed int
-	failed    int
-	cacheHits int
-	errMsg    string
-	results   []*bgp.Result
-	done      chan struct{} // closed when the job reaches a terminal state
+	mu         sync.Mutex
+	state      string
+	completed  int
+	failed     int
+	cacheHits  int
+	recoveries int // crash re-queues consumed (journal replay)
+	errMsg     string
+	results    []*bgp.Result
+	done       chan struct{} // closed when the job reaches a terminal state
+}
+
+// admissionError is an admission refusal — per-tenant concurrency or queue
+// overflow — that handlers render as 429. Any other Submit error (a journal
+// append failure) is an internal fault rendered as 500: a submission that
+// could not be made durable must not be acknowledged.
+type admissionError struct{ msg string }
+
+func (e *admissionError) Error() string { return e.msg }
+
+// admissionErrf builds an admissionError.
+func admissionErrf(format string, args ...any) error {
+	return &admissionError{msg: fmt.Sprintf(format, args...)}
 }
 
 // flight is one in-flight resolution of a RunKey; waiters block on ready
@@ -133,28 +206,41 @@ type Server struct {
 	store    *bgp.CheckpointStore
 	reg      *obs.Registry
 	observer bgp.Observer
+	jnl      *journal.Journal // nil when journaling is disabled
+	owner    string           // this instance's lease identity
+	ready    atomic.Bool      // journal replayed; workers started
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	queue  chan *job
-	wg     sync.WaitGroup
-	runSem chan struct{}
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	runSem  chan struct{}
+	auditCh chan auditTask
 
-	mu      sync.Mutex
-	jobs    map[string]*job
-	tenants map[string]int
-	flights map[string]*flight
+	mu        sync.Mutex
+	queueCond *sync.Cond // signalled on pending appends and close
+	pending   []*job     // FIFO of jobs waiting for a job worker
+	closed    bool
+	jobs      map[string]*job
+	tenants   map[string]int
+	flights   map[string]*flight
 
 	jobsSubmitted, jobsDeduped, jobsRejected *obs.Counter
 	jobsDone, jobsFailed                     *obs.Counter
 	jobsActive, queueDepth                   *obs.Gauge
 	cacheHit, cacheHitInflight               *obs.Counter
 	cacheHitStore, cacheMiss                 *obs.Counter
+
+	journalRecords, journalReplayed         *obs.Counter
+	journalRecovered, journalRecoveryFailed *obs.Counter
+	journalErrors                           *obs.Counter
+	journalTruncated                        *obs.Gauge
+	auditOK, auditMismatch, auditSkipped    *obs.Counter
 }
 
 // New opens the checkpoint store (rescanning any existing manifest, so a
-// restarted daemon serves previously completed work from disk) and starts
-// the job workers.
+// restarted daemon serves previously completed work from disk), replays the
+// write-ahead job journal — re-queuing every job the previous instance left
+// non-terminal — and starts the job workers.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.CheckpointDir == "" {
@@ -174,10 +260,11 @@ func New(cfg Config) (*Server, error) {
 		store:    store,
 		reg:      reg,
 		observer: obs.NewRecorder(reg, nil),
+		owner:    fmt.Sprintf("bgpd-%d-%d", os.Getpid(), time.Now().UnixNano()),
 		ctx:      ctx,
 		cancel:   cancel,
-		queue:    make(chan *job, cfg.QueueDepth),
 		runSem:   make(chan struct{}, cfg.RunWorkers),
+		auditCh:  make(chan auditTask, auditQueueDepth),
 		jobs:     make(map[string]*job),
 		tenants:  make(map[string]int),
 		flights:  make(map[string]*flight),
@@ -193,10 +280,37 @@ func New(cfg Config) (*Server, error) {
 		cacheHitInflight: reg.Counter(MetricCacheHitInflight),
 		cacheHitStore:    reg.Counter(MetricCacheHitStore),
 		cacheMiss:        reg.Counter(MetricCacheMiss),
+
+		journalRecords:        reg.Counter(MetricJournalRecords),
+		journalReplayed:       reg.Counter(MetricJournalReplayed),
+		journalRecovered:      reg.Counter(MetricJournalRecovered),
+		journalRecoveryFailed: reg.Counter(MetricJournalRecoveryFailed),
+		journalErrors:         reg.Counter(MetricJournalErrors),
+		journalTruncated:      reg.Gauge(MetricJournalTruncated),
+		auditOK:               reg.Counter(MetricAuditOK),
+		auditMismatch:         reg.Counter(MetricAuditMismatch),
+		auditSkipped:          reg.Counter(MetricAuditSkipped),
 	}
+	s.queueCond = sync.NewCond(&s.mu)
+	if !cfg.NoJournal {
+		jnl, recs, err := journal.Open(filepath.Join(cfg.CheckpointDir, JournalFile))
+		if err != nil {
+			return nil, err
+		}
+		s.jnl = jnl
+		s.journalTruncated.Set(jnl.Truncated())
+		// Replay — register and re-queue — strictly before the first new
+		// append, then compact, so the rewritten log cannot drop records.
+		s.recoverJournal(recs)
+	}
+	s.ready.Store(true)
 	for i := 0; i < cfg.JobWorkers; i++ {
 		s.wg.Add(1)
 		go s.jobWorker()
+	}
+	if cfg.AuditFraction > 0 {
+		s.wg.Add(1)
+		go s.auditWorker()
 	}
 	return s, nil
 }
@@ -208,17 +322,27 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 func (s *Server) Store() *bgp.CheckpointStore { return s.store }
 
 // Close stops the server: in-flight simulations are cancelled (their jobs
-// fail with the cancellation error; completed runs are already persisted,
-// so a restarted server resumes from them) and the workers drain.
+// fail with the cancellation error in this process's memory, but their
+// journal records still say running/queued, so a restarted server re-queues
+// and completes them; completed runs are already persisted) and the workers
+// drain.
 func (s *Server) Close() {
 	s.cancel()
+	s.mu.Lock()
+	s.closed = true
+	s.queueCond.Broadcast()
+	s.mu.Unlock()
 	s.wg.Wait()
+	if s.jnl != nil {
+		s.jnl.Close()
+	}
 }
 
 // Submit admits one decoded job. It returns the (possibly pre-existing)
-// job and created=true when this call queued a new job; a non-nil error is
-// an admission refusal (per-tenant limit or queue overflow) that handlers
-// render as 429.
+// job and created=true when this call queued a new job. An *admissionError
+// is an admission refusal (per-tenant limit or queue overflow) that
+// handlers render as 429; any other error is a journal failure — the
+// submission was NOT made durable and was not admitted (500).
 func (s *Server) Submit(spec *JobSpec, cfgs []bgp.RunConfig) (j *job, created bool, err error) {
 	id := JobID(spec, cfgs)
 	retries := spec.Retries
@@ -247,8 +371,12 @@ func (s *Server) Submit(spec *JobSpec, cfgs []bgp.RunConfig) (j *job, created bo
 	}
 	if s.tenants[spec.Tenant] >= s.cfg.TenantJobs {
 		s.jobsRejected.Inc()
-		return nil, false, fmt.Errorf("tenant %q has %d active jobs (limit %d)",
+		return nil, false, admissionErrf("tenant %q has %d active jobs (limit %d)",
 			spec.Tenant, s.tenants[spec.Tenant], s.cfg.TenantJobs)
+	}
+	if len(s.pending) >= s.cfg.QueueDepth {
+		s.jobsRejected.Inc()
+		return nil, false, admissionErrf("job queue full (%d queued)", len(s.pending))
 	}
 	j = &job{
 		id:         id,
@@ -261,18 +389,49 @@ func (s *Server) Submit(spec *JobSpec, cfgs []bgp.RunConfig) (j *job, created bo
 		results:    make([]*bgp.Result, len(cfgs)),
 		done:       make(chan struct{}),
 	}
-	select {
-	case s.queue <- j:
-	default:
-		s.jobsRejected.Inc()
-		return nil, false, fmt.Errorf("job queue full (%d queued)", s.cfg.QueueDepth)
+	// Write-ahead: the submission reaches the disk before the caller sees
+	// its 202, so an accepted job survives any later crash.
+	if s.jnl != nil {
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			return nil, false, fmt.Errorf("encoding spec for the journal: %w", err)
+		}
+		if err := s.jnl.Append(journal.Record{
+			Kind: journal.KindSubmit, Job: id, Tenant: spec.Tenant,
+			Spec: raw, CreatedUnix: j.created.Unix(),
+		}); err != nil {
+			s.journalErrors.Inc()
+			return nil, false, err
+		}
+		s.journalRecords.Inc()
 	}
-	s.jobs[id] = j
-	s.tenants[spec.Tenant]++
+	s.admitLocked(j)
 	s.jobsSubmitted.Inc()
-	s.jobsActive.Add(1)
-	s.queueDepth.Set(int64(len(s.queue)))
 	return j, true, nil
+}
+
+// admitLocked registers j and appends it to the worker queue. Callers hold
+// s.mu.
+func (s *Server) admitLocked(j *job) {
+	s.jobs[j.id] = j
+	s.tenants[j.tenant]++
+	s.jobsActive.Add(1)
+	s.pending = append(s.pending, j)
+	s.queueDepth.Set(int64(len(s.pending)))
+	s.queueCond.Signal()
+}
+
+// enqueue appends an already-registered job to the worker queue (delayed
+// crash-recovery re-queues waiting out a foreign lease).
+func (s *Server) enqueue(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.pending = append(s.pending, j)
+	s.queueDepth.Set(int64(len(s.pending)))
+	s.queueCond.Signal()
 }
 
 // lookup returns the job with the given id.
@@ -287,16 +446,80 @@ func (s *Server) lookup(id string) (*job, bool) {
 func (s *Server) jobWorker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.ctx.Done():
-			return
-		case j := <-s.queue:
-			s.mu.Lock()
-			s.queueDepth.Set(int64(len(s.queue)))
-			s.mu.Unlock()
-			s.runJob(j)
+		s.mu.Lock()
+		for len(s.pending) == 0 && !s.closed {
+			s.queueCond.Wait()
 		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := s.pending[0]
+		s.pending = s.pending[1:]
+		s.queueDepth.Set(int64(len(s.pending)))
+		s.mu.Unlock()
+		s.runJob(j)
 	}
+}
+
+// journalState appends one state-transition record; a failed append is
+// counted and tolerated (the job proceeds; durability degrades until the
+// disk recovers).
+func (s *Server) journalState(id, state, errMsg string, recoveries int) {
+	if s.jnl == nil {
+		return
+	}
+	if err := s.jnl.Append(journal.Record{
+		Kind: journal.KindState, Job: id, State: state, Error: errMsg,
+		Recoveries: recoveries, Owner: s.owner,
+	}); err != nil {
+		s.journalErrors.Inc()
+		return
+	}
+	s.journalRecords.Inc()
+}
+
+// journalLease appends one lease renewal.
+func (s *Server) journalLease(id string, expiry time.Time) {
+	if s.jnl == nil {
+		return
+	}
+	if err := s.jnl.Append(journal.Record{
+		Kind: journal.KindLease, Job: id, Owner: s.owner,
+		ExpiryUnixNano: expiry.UnixNano(),
+	}); err != nil {
+		s.journalErrors.Inc()
+		return
+	}
+	s.journalRecords.Inc()
+}
+
+// startLease journals an initial lease on the job and renews it at the
+// TTL's half-life until the returned stop function is called: while this
+// instance lives, a concurrently started instance replaying the journal
+// sees the job actively owned and waits before re-queuing it.
+func (s *Server) startLease(id string) (stop func()) {
+	if s.jnl == nil {
+		return func() {}
+	}
+	ttl := s.cfg.LeaseTTL
+	s.journalLease(id, time.Now().Add(ttl))
+	ctx, cancel := context.WithCancel(s.ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(ttl / 2)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				s.journalLease(id, time.Now().Add(ttl))
+			}
+		}
+	}()
+	return func() { cancel(); <-done }
 }
 
 // runJob executes every run of a job, resolving each through the result
@@ -304,7 +527,10 @@ func (s *Server) jobWorker() {
 func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	j.state = StateRunning
+	recoveries := j.recoveries
 	j.mu.Unlock()
+	s.journalState(j.id, StateRunning, "", recoveries)
+	stopLease := s.startLease(j.id)
 
 	var wg sync.WaitGroup
 	for i := range j.cfgs {
@@ -329,6 +555,7 @@ func (s *Server) runJob(j *job) {
 		}(i)
 	}
 	wg.Wait()
+	stopLease()
 
 	j.mu.Lock()
 	if j.failed > 0 {
@@ -338,8 +565,15 @@ func (s *Server) runJob(j *job) {
 		j.state = StateDone
 		s.jobsDone.Inc()
 	}
+	state, errMsg := j.state, j.errMsg
 	close(j.done)
 	j.mu.Unlock()
+	// A job torn down by server shutdown did not fail — it was interrupted.
+	// Leaving its journal record at running/queued is what lets a restarted
+	// instance re-queue and finish it.
+	if !(state == StateFailed && s.ctx.Err() != nil) {
+		s.journalState(j.id, state, errMsg, recoveries)
+	}
 
 	s.mu.Lock()
 	s.tenants[j.tenant]--
@@ -392,6 +626,7 @@ func (s *Server) build(ctx context.Context, key string, cfg bgp.RunConfig, retri
 	if res := s.store.Restore(key, cfg); res != nil {
 		s.cacheHit.Inc()
 		s.cacheHitStore.Inc()
+		s.maybeAudit(key, cfg, res)
 		return res, true, nil
 	}
 	s.cacheMiss.Inc()
@@ -402,12 +637,13 @@ func (s *Server) build(ctx context.Context, key string, cfg bgp.RunConfig, retri
 	}
 	defer func() { <-s.runSem }()
 	results, err := bgp.RunAll(ctx, []bgp.RunConfig{cfg}, bgp.SweepConfig{
-		Workers:    1,
-		Checkpoint: s.store,
-		Retries:    retries,
-		RunTimeout: runTimeout,
-		Faults:     s.cfg.Faults,
-		Observer:   s.observer,
+		Workers:        1,
+		Checkpoint:     s.store,
+		Retries:        retries,
+		RunTimeout:     runTimeout,
+		Faults:         s.cfg.Faults,
+		Observer:       s.observer,
+		EpochMemoBytes: s.cfg.EpochMemoBytes,
 	})
 	if err != nil {
 		return nil, false, err

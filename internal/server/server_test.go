@@ -330,7 +330,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	// recorder, so they surface here alongside the server.cache.* family.
 	for _, name := range []string{
 		"sim.ff.dispatches", "sim.ff.cycles",
-		"sim.epochmemo.hits", "sim.epochmemo.misses", "sim.epochmemo.stores",
+		"sim.epochmemo.hits", "sim.epochmemo.misses", "sim.epochmemo.stores", "sim.epochmemo.corrupt",
 		"sim.progcache.hit", "sim.progcache.miss",
 	} {
 		if _, ok := snap.Counters[name]; !ok {

@@ -77,11 +77,21 @@ type JobSpec struct {
 	RunTimeoutMS int64 `json:"run_timeout_ms,omitempty"`
 }
 
-// SpecError is a job-spec validation failure; handlers render it as a 400.
-type SpecError struct{ Reason string }
+// SpecError is a job-spec validation failure; handlers render it as a 400
+// (or, when the wrapped cause is the body-size limit, a 413).
+type SpecError struct {
+	Reason string
+	// Err is the underlying cause, when one exists (an I/O or JSON decode
+	// error); validation failures leave it nil.
+	Err error
+}
 
 // Error returns the validation failure.
 func (e *SpecError) Error() string { return "spec: " + e.Reason }
+
+// Unwrap exposes the cause, so handlers can detect *http.MaxBytesError
+// behind a decode failure.
+func (e *SpecError) Unwrap() error { return e.Err }
 
 // specErrf builds a SpecError.
 func specErrf(format string, args ...any) error {
@@ -165,7 +175,7 @@ func DecodeJobSpec(r io.Reader) (*JobSpec, []bgp.RunConfig, error) {
 	dec.DisallowUnknownFields()
 	var spec JobSpec
 	if err := dec.Decode(&spec); err != nil {
-		return nil, nil, specErrf("decoding job: %v", err)
+		return nil, nil, &SpecError{Reason: fmt.Sprintf("decoding job: %v", err), Err: err}
 	}
 	if dec.More() {
 		return nil, nil, specErrf("trailing data after job object")

@@ -112,6 +112,10 @@ type SweepConfig struct {
 	// (see RunConfig.NoEpochMemo). Never affects results or checkpoint
 	// identity.
 	NoEpochMemo bool
+	// EpochMemoBytes re-bounds the epoch memo byte budget for runs that
+	// leave RunConfig.EpochMemoBytes zero (> 0 sets, < 0 unbounds). Never
+	// affects results or checkpoint identity.
+	EpochMemoBytes int64
 }
 
 // RunAll executes independent runs concurrently on a bounded worker pool
@@ -195,6 +199,9 @@ func RunAll(ctx context.Context, cfgs []RunConfig, sc SweepConfig) ([]*Result, e
 		}
 		if sc.NoEpochMemo {
 			cfg.NoEpochMemo = true
+		}
+		if cfg.EpochMemoBytes == 0 {
+			cfg.EpochMemoBytes = sc.EpochMemoBytes
 		}
 		if ckpt != nil && (sc.Resume || sc.ResumeOnly) {
 			if res := ckpt.restore(key, cfg); res != nil {
