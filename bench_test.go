@@ -231,6 +231,29 @@ func BenchmarkFig14MFLOPSPerChip(b *testing.B) {
 	benchmarkModes(b, func(r experiments.ModeRow) float64 { return r.MFLOPSPerChipGain }, "mean-mflops-gain")
 }
 
+// BenchmarkHPLSpec measures the workload-spec pipeline end to end: decode
+// specs/hpl.yaml, compile it through the spec → kernel lowering, and run
+// the four-mode characterization the figure pins. It tracks the cost of
+// spec-driven simulation alongside the NAS figures; scripts/bench.sh
+// reports it in BENCH_core.json (reported, never gated — new benchmarks
+// start ungated).
+func BenchmarkHPLSpec(b *testing.B) {
+	s := benchScale()
+	spec, err := bgp.LoadWorkloadSpec("specs/hpl.yaml")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.SpecCharacterization(spec, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 4 {
+			b.Fatalf("characterization points = %d", len(pts))
+		}
+	}
+}
+
 // BenchmarkSuiteBestBuild measures a full instrumented suite pass at the
 // best build — the simulator's end-to-end throughput.
 func BenchmarkSuiteBestBuild(b *testing.B) {

@@ -41,6 +41,7 @@ import (
 	"bgpsim/internal/obs"
 	"bgpsim/internal/postproc"
 	"bgpsim/internal/progcache"
+	"bgpsim/internal/workload"
 )
 
 // Re-exported workload and configuration vocabulary, so that typical users
@@ -72,7 +73,22 @@ type (
 	// ProgCache is the content-addressed compile/classification cache
 	// shared across runs (see internal/progcache).
 	ProgCache = progcache.Cache
+	// WorkloadSpec is a decoded declarative workload specification
+	// (see internal/workload): a seeded YAML schema composing per-rank
+	// phases from memory-walk, FP-mix and communication primitives,
+	// runnable anywhere a NAS benchmark is via RunConfig.Spec.
+	WorkloadSpec = workload.Spec
 )
+
+// LoadWorkloadSpec reads and strictly decodes a YAML workload spec file.
+func LoadWorkloadSpec(path string) (*WorkloadSpec, error) {
+	return workload.LoadSpec(path)
+}
+
+// ParseWorkloadSpec strictly decodes a YAML workload spec from memory.
+func ParseWorkloadSpec(src []byte) (*WorkloadSpec, error) {
+	return workload.DecodeSpecBytes(src)
+}
 
 // NewProgCache creates a program cache holding at most capacity builds
 // (capacity < 1 = unbounded), for callers who want cache population
@@ -122,8 +138,18 @@ func Benchmarks() []string {
 
 // RunConfig selects one instrumented benchmark run.
 type RunConfig struct {
-	// Benchmark is the NAS benchmark name ("mg", "ft", ...).
+	// Benchmark is the NAS benchmark name ("mg", "ft", ...). Mutually
+	// exclusive with Spec.
 	Benchmark string
+	// Spec, when non-nil, runs a declarative workload spec instead of a
+	// registered NAS benchmark: the spec is compiled down to the same
+	// kernel IR and SPMD body shape, so every execution mode and
+	// accelerator applies unchanged. The spec's canonical fingerprint is
+	// folded into checkpoint fingerprints (and through them RunKeys, the
+	// epoch-memo configuration key and bgpd job ids), so results cached
+	// under one spec can never serve another. Mutually exclusive with
+	// Benchmark.
+	Spec *WorkloadSpec
 	// Class is the problem class.
 	Class Class
 	// Ranks is the requested MPI process count (SP and BT round it down
@@ -244,14 +270,28 @@ type Result struct {
 // Run executes one instrumented benchmark run end to end.
 func Run(cfg RunConfig) (*Result, error) {
 	start := time.Now()
-	b, err := nas.ByName(cfg.Benchmark)
-	if err != nil {
-		return nil, err
-	}
 	if cfg.Ranks <= 0 {
 		return nil, fmt.Errorf("bgp: non-positive rank count %d", cfg.Ranks)
 	}
-	ranks := b.RanksFor(cfg.Ranks)
+	name := cfg.Benchmark
+	ranks := cfg.Ranks
+	var build func(nas.Config) (*nas.App, error)
+	switch {
+	case cfg.Spec != nil && cfg.Benchmark != "":
+		return nil, fmt.Errorf("bgp: Benchmark (%q) and Spec (%q) are mutually exclusive",
+			cfg.Benchmark, cfg.Spec.Name)
+	case cfg.Spec != nil:
+		spec := cfg.Spec
+		name = spec.Name
+		build = func(c nas.Config) (*nas.App, error) { return workload.Build(spec, c) }
+	default:
+		b, err := nas.ByName(cfg.Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		ranks = b.RanksFor(cfg.Ranks)
+		build = b.Build
+	}
 	cache := cfg.ProgCache
 	if cache == nil && !cfg.NoProgCache {
 		cache = progcache.Default()
@@ -260,7 +300,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		cache = nil
 	}
 	var progHits, progMisses uint64
-	app, err := b.Build(nas.Config{
+	app, err := build(nas.Config{
 		Class: cfg.Class, Ranks: ranks, Opts: cfg.Opts, Cache: cache,
 		OnCompile: func(hit bool) {
 			if hit {
@@ -273,7 +313,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	label := fmt.Sprintf("%s.%s %s %v x%d", cfg.Benchmark, cfg.Class, cfg.Opts, cfg.Mode, app.Ranks)
+	label := fmt.Sprintf("%s.%s %s %v x%d", name, cfg.Class, cfg.Opts, cfg.Mode, app.Ranks)
 	observePhase(cfg.Observer, label, obs.PhaseCompile, start)
 
 	start = time.Now()

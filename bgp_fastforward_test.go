@@ -43,6 +43,8 @@ func fastForwardCases() []bgp.RunConfig {
 			Opts: bgp.Options{Level: bgp.O5, Arch440d: true}},
 		bgp.RunConfig{Benchmark: "is", Class: bgp.ClassW, Ranks: 4, Mode: bgp.Dual,
 			Opts: bgp.Options{Level: bgp.O3}},
+		// A YAML workload spec rides the same accelerators as the NAS set.
+		mustHPLConfig(),
 	)
 	return cases
 }

@@ -79,6 +79,11 @@ func RunKey(index int, cfg RunConfig) string {
 // NoEpochMemo/EpochMemoBytes are excluded for the same reason: they change
 // how the host computes the run, provably never what it computes, so a
 // checkpoint written at any setting restores at any other.
+//
+// A workload spec is replaced by its own canonical sha256 fingerprint: the
+// pointer would render as an unstable address, while the content hash makes
+// runs of distinct specs provably distinct and runs of equal specs equal,
+// regardless of which decoded copy the caller holds.
 func fingerprint(cfg RunConfig) string {
 	cfg.DumpDir = ""
 	cfg.Observer = nil
@@ -88,7 +93,12 @@ func fingerprint(cfg RunConfig) string {
 	cfg.NoFastForward = false
 	cfg.NoEpochMemo = false
 	cfg.EpochMemoBytes = 0
-	return fmt.Sprintf("%+v", cfg)
+	spec := ""
+	if cfg.Spec != nil {
+		spec = "|spec=" + cfg.Spec.Fingerprint()
+		cfg.Spec = nil
+	}
+	return fmt.Sprintf("%+v", cfg) + spec
 }
 
 // CheckpointStore manages one checkpoint directory. A store is safe for

@@ -30,6 +30,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	bgp "bgpsim"
@@ -51,6 +52,7 @@ func run() int {
 		ranks = flag.Int("ranks", 32, "process count")
 		jobs  = flag.Int("jobs", 0, "concurrent simulations per figure (0 = one per host core)")
 		out   = flag.String("o", "", "write the report to this file instead of stdout")
+		specs = flag.String("spec", "", "YAML workload spec files, comma-separated: append a characterization section per spec")
 
 		retries    = flag.Int("retries", 0, "per-run retry budget for transient failures")
 		runTimeout = flag.Duration("run-timeout", 0, "deadline per run attempt (0 = none); overruns count as transient")
@@ -213,6 +215,24 @@ func run() int {
 		fmt.Fprintln(w)
 		return nil
 	})
+	if *specs != "" {
+		for _, path := range strings.Split(*specs, ",") {
+			path := strings.TrimSpace(path)
+			step("workload spec "+path, func() error {
+				spec, err := bgp.LoadWorkloadSpec(path)
+				if err != nil {
+					return err
+				}
+				pts, err := experiments.SpecCharacterization(spec, s)
+				if err != nil {
+					return err
+				}
+				experiments.RenderSpec(w, spec, pts)
+				fmt.Fprintln(w)
+				return nil
+			})
+		}
+	}
 	if failed {
 		return 1
 	}

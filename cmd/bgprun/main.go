@@ -11,6 +11,11 @@
 // for each benchmark in its own subdirectory. Results are identical at any
 // -jobs value and are always printed in benchmark order.
 //
+// -spec runs declarative YAML workload specs (see specs/hpl.yaml and the
+// DESIGN.md "Workload specs" section) through the same pipeline:
+//
+//	bgprun -spec specs/hpl.yaml -class W -ranks 16
+//
 // Multi-benchmark runs can be made resilient with -retries, -run-timeout,
 // -keep-going (print the completed benchmarks past failed ones) and
 // -checkpoint/-resume (persist completed runs; re-run only the unfinished
@@ -50,6 +55,7 @@ func main() {
 func run() int {
 	var (
 		bench       = flag.String("bench", "mg", "NAS benchmarks, comma-separated or \"all\": "+strings.Join(bgp.Benchmarks(), ", "))
+		specFiles   = flag.String("spec", "", "YAML workload spec files, comma-separated (e.g. specs/hpl.yaml); replaces -bench unless -bench is given explicitly")
 		class       = flag.String("class", "A", "problem class: S, W, A, B or C")
 		ranks       = flag.Int("ranks", 32, "MPI process count (SP/BT round down to a square)")
 		mode        = flag.String("mode", "VNM", "node operating mode: SMP1, SMP4, DUAL or VNM")
@@ -137,29 +143,57 @@ func run() int {
 		return 1
 	}
 
-	var benches []string
-	if strings.EqualFold(strings.TrimSpace(*bench), "all") {
-		benches = bgp.Benchmarks()
-	} else {
-		for _, b := range strings.Split(*bench, ",") {
-			benches = append(benches, strings.ToLower(strings.TrimSpace(b)))
+	// The run list: NAS benchmarks by name, workload specs by file. A
+	// -spec invocation replaces the default benchmark unless the user
+	// spelled -bench out too, in which case both run.
+	benchSet := *specFiles == ""
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "bench" {
+			benchSet = true
+		}
+	})
+	var names []string
+	var specs []*bgp.WorkloadSpec
+	if benchSet {
+		if strings.EqualFold(strings.TrimSpace(*bench), "all") {
+			names = bgp.Benchmarks()
+		} else {
+			for _, b := range strings.Split(*bench, ",") {
+				names = append(names, strings.ToLower(strings.TrimSpace(b)))
+			}
+		}
+		specs = make([]*bgp.WorkloadSpec, len(names))
+	}
+	if *specFiles != "" {
+		for _, path := range strings.Split(*specFiles, ",") {
+			spec, err := bgp.LoadWorkloadSpec(strings.TrimSpace(path))
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			names = append(names, spec.Name)
+			specs = append(specs, spec)
 		}
 	}
-	if *timeline != "" && len(benches) > 1 {
+	if *timeline != "" && len(names) > 1 {
 		log.Print("-timeline supports a single benchmark")
 		return 1
 	}
 
-	cfgs := make([]bgp.RunConfig, len(benches))
-	for i, name := range benches {
+	cfgs := make([]bgp.RunConfig, len(names))
+	for i, name := range names {
 		cfg := bgp.RunConfig{
-			Benchmark: name,
-			Class:     cls,
-			Ranks:     *ranks,
-			Mode:      opMode,
-			Opts:      opts,
-			Nodes:     *nodes,
-			DumpDir:   *dumpDir,
+			Class:   cls,
+			Ranks:   *ranks,
+			Mode:    opMode,
+			Opts:    opts,
+			Nodes:   *nodes,
+			DumpDir: *dumpDir,
+		}
+		if specs[i] != nil {
+			cfg.Spec = specs[i]
+		} else {
+			cfg.Benchmark = name
 		}
 		switch {
 		case *l3MB == 0:
@@ -168,7 +202,7 @@ func run() int {
 			cfg.L3Bytes = *l3MB << 20
 		}
 		if *dumpDir != "" {
-			if len(benches) > 1 {
+			if len(names) > 1 {
 				cfg.DumpDir = filepath.Join(*dumpDir, name)
 			}
 			if err := os.MkdirAll(cfg.DumpDir, 0o755); err != nil {

@@ -11,6 +11,8 @@
 //	bgpsweep -fig 11 -jobs 4        # fan the sweep out over 4 host cores
 //	bgpsweep -ext prefetch          # §IX extension: L2 prefetch-depth sweep
 //	bgpsweep -ext hybrid            # §IX extension: MPI+OpenMP vs pure MPI
+//	bgpsweep -spec specs/hpl.yaml   # characterize a YAML workload spec
+//	                                # across the four operating modes
 //
 // Long sweeps can run resiliently:
 //
@@ -58,6 +60,7 @@ func run() int {
 	var (
 		fig         = flag.Int("fig", 6, "figure to regenerate: 6, 7, 8, 9, 10, 11, 12, 13 or 14")
 		ext         = flag.String("ext", "", "extension study instead of a figure: prefetch, l3prefetch or hybrid")
+		specFile    = flag.String("spec", "", "characterize a YAML workload spec (e.g. specs/hpl.yaml) across operating modes instead of a figure")
 		class       = flag.String("class", "B", "problem class: S, W, A, B or C")
 		ranks       = flag.Int("ranks", 32, "process count (class B / 32 ranks reproduces the paper's per-rank regime)")
 		jobs        = flag.Int("jobs", 0, "concurrent simulations (0 = one per host core); results do not depend on it")
@@ -147,6 +150,21 @@ func run() int {
 		defer func() { log.Print(tracker.Snapshot()) }()
 	}
 	w := os.Stdout
+
+	if *specFile != "" {
+		spec, err := bgp.LoadWorkloadSpec(*specFile)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		pts, err := experiments.SpecCharacterization(spec, s)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		experiments.RenderSpec(w, spec, pts)
+		return partialStatus(missing)
+	}
 
 	switch *ext {
 	case "":

@@ -158,7 +158,11 @@ func (ms *MissingSet) Labels() []string {
 // PointLabel identifies one sweep point for diagnostics: benchmark × class ×
 // mode × build, plus whichever machine overrides the figure sweeps.
 func PointLabel(cfg bgp.RunConfig) string {
-	label := fmt.Sprintf("%s.%v %v %v", cfg.Benchmark, cfg.Class, cfg.Mode, cfg.Opts)
+	name := cfg.Benchmark
+	if cfg.Spec != nil {
+		name = cfg.Spec.Name
+	}
+	label := fmt.Sprintf("%s.%v %v %v", name, cfg.Class, cfg.Mode, cfg.Opts)
 	switch {
 	case cfg.L3Bytes < 0:
 		label += " l3=off"

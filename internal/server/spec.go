@@ -37,12 +37,21 @@ import (
 const (
 	MaxRunsPerJob = 256
 	MaxRanks      = 1024
+	// MaxWorkloadBytes bounds one run's inline YAML workload spec.
+	MaxWorkloadBytes = 256 << 10
 )
 
 // RunSpec is the wire form of one simulation point.
 type RunSpec struct {
-	// Benchmark is the NAS benchmark name ("mg", "ft", ...).
-	Benchmark string `json:"benchmark"`
+	// Benchmark is the NAS benchmark name ("mg", "ft", ...). Mutually
+	// exclusive with Workload.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Workload is a YAML workload spec by value (the text of a
+	// specs/*.yaml file). It is decoded strictly at submission, and the
+	// decoded spec's canonical fingerprint flows into the run's RunKey
+	// and the job id, so distinct workloads can never share a cache
+	// entry. Mutually exclusive with Benchmark.
+	Workload string `json:"workload,omitempty"`
 	// Class is the problem-class letter ("S", "W", "A", "B", "C").
 	Class string `json:"class"`
 	// Ranks is the requested MPI process count.
@@ -125,7 +134,20 @@ func parseOpMode(s string) (bgp.OpMode, error) {
 // Compile validates one run spec and lowers it to a RunConfig.
 func (rs RunSpec) Compile() (bgp.RunConfig, error) {
 	var cfg bgp.RunConfig
-	if !knownBenchmarks[rs.Benchmark] {
+	var workload *bgp.WorkloadSpec
+	switch {
+	case rs.Workload != "" && rs.Benchmark != "":
+		return cfg, specErrf("benchmark and workload are mutually exclusive")
+	case rs.Workload != "":
+		if len(rs.Workload) > MaxWorkloadBytes {
+			return cfg, specErrf("workload spec is %d bytes, limit is %d", len(rs.Workload), MaxWorkloadBytes)
+		}
+		w, err := bgp.ParseWorkloadSpec([]byte(rs.Workload))
+		if err != nil {
+			return cfg, &SpecError{Reason: fmt.Sprintf("workload: %v", err), Err: err}
+		}
+		workload = w
+	case !knownBenchmarks[rs.Benchmark]:
 		return cfg, specErrf("unknown benchmark %q (have %s)", rs.Benchmark, strings.Join(bgp.Benchmarks(), ", "))
 	}
 	class, err := bgp.ParseClass(rs.Class)
@@ -154,6 +176,7 @@ func (rs RunSpec) Compile() (bgp.RunConfig, error) {
 	}
 	return bgp.RunConfig{
 		Benchmark:       rs.Benchmark,
+		Spec:            workload,
 		Class:           class,
 		Ranks:           rs.Ranks,
 		Mode:            mode,

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+
+	"bgpsim/internal/rng"
+)
+
+func TestDistSampleDeterminism(t *testing.T) {
+	dists := []Dist{
+		constDist(3),
+		{Kind: DistUniform, Min: 1, Max: 9, MinSet: true, MaxSet: true},
+		{Kind: DistPoisson, Value: 4},
+		{Kind: DistGamma, Shape: 2, Scale: 3},
+		{Kind: DistGamma, Shape: 0.5, Scale: 3},
+		{Kind: DistWeibull, Shape: 1.5, Scale: 2},
+	}
+	for _, d := range dists {
+		t.Run(d.canonical(), func(t *testing.T) {
+			if err := d.validate("test"); err != nil {
+				t.Fatal(err)
+			}
+			a, b := rng.New(7), rng.New(7)
+			for i := 0; i < 1000; i++ {
+				va, vb := d.Sample(a), d.Sample(b)
+				if va != vb {
+					t.Fatalf("draw %d: %g != %g from identical streams", i, va, vb)
+				}
+			}
+		})
+	}
+}
+
+func TestDistSeedSensitivity(t *testing.T) {
+	d := Dist{Kind: DistGamma, Shape: 2, Scale: 3}
+	a, b := rng.New(1), rng.New(2)
+	same := true
+	for i := 0; i < 16; i++ {
+		if d.Sample(a) != d.Sample(b) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("16 gamma draws identical across different seeds")
+	}
+}
+
+func TestDistClamping(t *testing.T) {
+	d := Dist{Kind: DistGamma, Shape: 2, Scale: 100, Min: 10, Max: 20, MinSet: true, MaxSet: true}
+	r := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(r)
+		if v < 10 || v > 20 {
+			t.Fatalf("draw %d: %g escaped the [10, 20] clamp", i, v)
+		}
+	}
+}
+
+func TestDistSampleInt(t *testing.T) {
+	d := Dist{Kind: DistUniform, Min: 0, Max: 1e12, MinSet: true, MaxSet: true}
+	r := rng.New(5)
+	for i := 0; i < 1000; i++ {
+		v := d.SampleInt(r, 3, 100)
+		if v < 3 || v > 100 {
+			t.Fatalf("draw %d: %d escaped [3, 100]", i, v)
+		}
+	}
+	c := constDist(42.9)
+	if got := c.SampleInt(r, 1, 100); got != 42 {
+		t.Fatalf("const 42.9 floored to %d, want 42", got)
+	}
+}
+
+func TestDistValidateErrors(t *testing.T) {
+	bad := []Dist{
+		{Kind: DistUniform},                                           // missing bounds
+		{Kind: DistPoisson, Value: -1},                                // negative mean
+		{Kind: DistPoisson, Value: maxPoissonMean * 10},               // huge mean
+		{Kind: DistGamma, Shape: 0, Scale: 1},                         // zero shape
+		{Kind: DistWeibull, Shape: 1, Scale: -2},                      // negative scale
+		{Kind: DistConst, Min: 5, Max: 1, MinSet: true, MaxSet: true}, // max < min
+	}
+	for i, d := range bad {
+		if err := d.validate("test"); err == nil {
+			t.Errorf("dist %d (%s) validated, want error", i, d.canonical())
+		}
+	}
+}
+
+func TestPoissonMeanRoughlyCorrect(t *testing.T) {
+	d := Dist{Kind: DistPoisson, Value: 6}
+	r := rng.New(11)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += d.Sample(r)
+	}
+	mean := sum / n
+	if mean < 5.5 || mean > 6.5 {
+		t.Fatalf("poisson(6) empirical mean %g outside [5.5, 6.5]", mean)
+	}
+}

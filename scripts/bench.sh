@@ -50,7 +50,7 @@ COUNT="${COUNT:-3}"
 BENCHTIME="${BENCHTIME:-3x}"
 REGRESS_PCT="${REGRESS_PCT:-10}"
 MIN_GATE_NS="${MIN_GATE_NS:-1000000}"
-BENCHES='BenchmarkFig06InstructionProfile$|BenchmarkFig06InstructionProfileObserved$|BenchmarkFig06InstructionProfileCold$|BenchmarkFig11L3Sweep$|BenchmarkCacheAccess$'
+BENCHES='BenchmarkFig06InstructionProfile$|BenchmarkFig06InstructionProfileObserved$|BenchmarkFig06InstructionProfileCold$|BenchmarkFig11L3Sweep$|BenchmarkCacheAccess$|BenchmarkHPLSpec$'
 
 run_bench() { # "VAR=val ..." regex -> "name ns_op extra_metric" lines
     local envs="$1" regex="$2"
